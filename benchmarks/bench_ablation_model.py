@@ -1,0 +1,109 @@
+"""Ablation — variants of the probabilistic size model (Fig. 3).
+
+Two refinements over the paper's exact formulation are evaluated here
+(both documented in DESIGN.md §5):
+
+1. **Size-biased miss-rate prediction**: the paper uses ``P(X > K)``
+   (probability a color overflows); the measured quantity is the
+   fraction of *pages* in overflowing colors, ``P(B(NP-1, p) >= K)``,
+   which is strictly larger (a page preferentially lands in crowded
+   colors).
+2. **Affine normalization**: fitting hit time and miss overhead by
+   least squares per candidate instead of taking the window's min/max
+   cycles, which compresses clipped windows.
+
+The sweep measures detection accuracy of the L2/L3 estimates across
+seeds for each variant combination.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import SimulatedBackend
+from repro.core.cache_size import _extend_region, _gradient_regions
+from repro.core.mcalibrator import run_mcalibrator
+from repro.core.probabilistic import probabilistic_cache_size
+from repro.topology import dempsey, dunnington
+from repro.units import format_size
+from repro.viz import ascii_table
+
+SEEDS = range(8)
+
+
+def l2_window(backend):
+    """The mcalibrator window the Fig. 4 driver would hand to the
+    probabilistic algorithm for the first physically indexed level."""
+    mres = run_mcalibrator(backend, samples=5)
+    grads = mres.gradients
+    regions = _gradient_regions(grads)
+    lo, hi = regions[1]  # region 0 is the L1 cliff
+    hi_bound = regions[2][0] - 1 if len(regions) > 2 else len(grads) - 1
+    xlo, xhi = _extend_region(grads, lo, hi, lo_bound=regions[0][1] + 1,
+                              hi_bound=hi_bound)
+    return mres.sizes[xlo : xhi + 2], mres.cycles[xlo : xhi + 2]
+
+
+def accuracy(machine, truth, size_biased, affine_fit):
+    hits = 0
+    for seed in SEEDS:
+        backend = SimulatedBackend(machine, seed=seed)
+        sizes, cycles = l2_window(backend)
+        est = probabilistic_cache_size(
+            sizes, cycles, backend.page_size,
+            size_biased=size_biased, affine_fit=affine_fit,
+        )
+        hits += est.size == truth
+    return hits
+
+
+def test_model_variant_ablation(figure, benchmark):
+    backend = SimulatedBackend(dempsey(), seed=0)
+    sizes, cycles = l2_window(backend)
+    benchmark.pedantic(
+        lambda: probabilistic_cache_size(sizes, cycles, backend.page_size),
+        rounds=5,
+        iterations=1,
+    )
+
+    rows = []
+    scores = {}
+    for machine, truth in ((dempsey(), 2 * 1024**2), (dunnington(), 3 * 1024**2)):
+        for size_biased in (False, True):
+            for affine in (False, True):
+                hits = accuracy(machine, truth, size_biased, affine)
+                label = (
+                    ("size-biased" if size_biased else "paper P(X>K)")
+                    + " + "
+                    + ("affine fit" if affine else "min/max norm")
+                )
+                scores[(machine.name, size_biased, affine)] = hits
+                rows.append(
+                    (
+                        machine.name,
+                        format_size(truth),
+                        label,
+                        f"{hits}/{len(SEEDS)}",
+                    )
+                )
+    table = ascii_table(
+        ["machine", "true L2", "model variant", "correct"],
+        rows,
+        title="Ablation: probabilistic model variants (accuracy across "
+        f"{len(SEEDS)} measurement seeds)",
+    )
+    figure("Ablation probabilistic model", table)
+
+    n = len(SEEDS)
+    # The full refinement is perfect on both machines...
+    assert scores[("dempsey", True, True)] == n
+    assert scores[("dunnington", True, True)] == n
+    # ...and no variant beats it.
+    best = max(scores.values())
+    assert scores[("dempsey", True, True)] == best
+    # The paper's plain formulation is noticeably less reliable on at
+    # least one machine (it worked on the authors' testbeds; on random
+    # page placements it is biased — see DESIGN.md).
+    plain = min(
+        scores[("dempsey", False, False)], scores[("dunnington", False, False)]
+    )
+    assert plain <= n - 1

@@ -1,0 +1,108 @@
+"""Ablation — is the advisor's tile actually near the optimum?
+
+Sweeps blocked-matmul tile sides on the ground-truth machine model and
+checks that the tile the advisor derives from the *measured* cache
+sizes (with its fill_fraction = 0.5 safety rule) lands within a small
+factor of the sweep's oracle optimum — i.e. the measured sizes plus the
+half-capacity rule are sufficient, no search needed (the paper's ref.
+[4] argument).
+"""
+
+import pytest
+
+from repro.autotune import Advisor
+from repro.backends import SimulatedBackend
+from repro.core import ServetSuite
+from repro.memsim.matmul import blocked_matmul_cost, tile_sweep
+from repro.topology import dempsey, dunnington
+from repro.viz import ascii_table
+
+N = 4096
+TILES = [16, 32, 64, 96, 128, 160, 192, 224, 256, 320, 384, 448, 512]
+
+
+@pytest.fixture(scope="module")
+def reports():
+    out = {}
+    for build in (dempsey, dunnington):
+        machine = build()
+        out[machine.name] = (
+            machine,
+            ServetSuite(SimulatedBackend(machine, seed=42)).run(),
+        )
+    return out
+
+
+def test_tile_sweep_vs_advice(reports, figure, benchmark):
+    machine, report = reports["dempsey"]
+    benchmark.pedantic(
+        lambda: tile_sweep(machine, N, TILES), rounds=3, iterations=1
+    )
+
+    rows = []
+    verdicts = {}
+    for name, (machine, report) in reports.items():
+        advisor = Advisor(report)
+        advised = advisor.matmul_tile(level=2)
+        sweep = tile_sweep(machine, N, sorted(set(TILES + [advised])))
+        best = min(sweep, key=lambda e: e.lines_fetched)
+        advised_cost = blocked_matmul_cost(machine, N, advised).lines_fetched
+        ratio = advised_cost / best.lines_fetched
+        verdicts[name] = (advised, best.tile, ratio)
+        for estimate in sweep:
+            rows.append(
+                (
+                    name,
+                    estimate.tile,
+                    f"{estimate.lines_fetched / 1e6:.1f}M",
+                    f"{estimate.working_set_miss_rate:.3f}",
+                    "<- advised" if estimate.tile == advised else
+                    ("<- oracle" if estimate.tile == best.tile else ""),
+                )
+            )
+    table = ascii_table(
+        ["machine", "tile", "lines fetched", "ws miss rate", ""],
+        rows,
+        title=f"Ablation: blocked {N}x{N} matmul tile sweep (L2 target)",
+    )
+    figure("Ablation tiling sweep", table)
+
+    for name, (advised, oracle, ratio) in verdicts.items():
+        # The conflict-aware advice must be within 25% of the oracle...
+        assert ratio < 1.25, (name, advised, oracle, ratio)
+        # ...and the cost curve must actually be U-shaped (both the
+        # tiny tile and the over-full tile are measurably worse).
+        machine, _ = reports[name]
+        tiny = blocked_matmul_cost(machine, N, 16).lines_fetched
+        best_cost = blocked_matmul_cost(machine, N, oracle).lines_fetched
+        over = blocked_matmul_cost(machine, N, 512).lines_fetched
+        assert tiny > 2 * best_cost
+        assert over > 1.5 * best_cost
+
+
+def test_conflict_aware_beats_fill_fraction_rules(reports, benchmark):
+    machine, report = reports["dempsey"]
+    from repro.autotune.tiling import conflict_aware_tile
+
+    benchmark.pedantic(lambda: conflict_aware_tile(report, 2), rounds=5, iterations=1)
+    _run_conflict_aware_assertions(reports)
+
+
+def _run_conflict_aware_assertions(reports):
+    """Filling the cache (or even half of it) is a trap under random
+    paging: the binomial conflicts bite well before full occupancy —
+    the very effect Servet's probabilistic model quantifies, which the
+    conflict-aware rule turns back into a tiling decision."""
+    from repro.autotune.tiling import matmul_tile_side
+
+    for name in ("dempsey", "dunnington"):
+        machine, report = reports[name]
+        aware = matmul_tile_side(report, 2)  # conflict-aware default
+        half = matmul_tile_side(report, 2, fill_fraction=0.5)
+        full = matmul_tile_side(report, 2, fill_fraction=1.0)
+        costs = {
+            b: blocked_matmul_cost(machine, N, b).lines_fetched
+            for b in {aware, half, full}
+        }
+        assert costs[aware] <= costs[half] * 1.001, (name, aware, half)
+        assert costs[aware] < costs[full], (name, aware, full)

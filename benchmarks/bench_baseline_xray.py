@@ -1,0 +1,79 @@
+"""Baseline comparison — Servet vs X-Ray-style positional detection.
+
+Regenerates the paper's Section II argument quantitatively: the
+positional baseline matches Servet only when the OS hands out
+physically well-behaved pages (coloring / superpages); under Linux-like
+random placement it misestimates every physically indexed level, while
+Servet's probabilistic algorithm stays exact.
+"""
+
+import pytest
+
+from repro.backends import SimulatedBackend
+from repro.baselines import xray_cache_sizes
+from repro.core.cache_size import detect_caches
+from repro.memsim.paging import ColoredPaging, ContiguousPaging, RandomPaging
+from repro.topology import dempsey, dunnington
+from repro.units import format_size
+from repro.viz import ascii_table
+
+
+def policies(machine):
+    l2 = machine.levels[1].spec
+    return {
+        "random (Linux)": lambda: RandomPaging(),
+        "page coloring": lambda: ColoredPaging(
+            n_colors=l2.page_colors(machine.page_size)
+        ),
+        "superpages": lambda: ContiguousPaging(),
+    }
+
+
+def test_servet_vs_xray(figure, benchmark):
+    be = SimulatedBackend(dempsey(), seed=6)
+    benchmark.pedantic(lambda: xray_cache_sizes(be), rounds=3, iterations=1)
+
+    rows = []
+    outcomes = {}
+    for build in (dempsey, dunnington):
+        machine = build()
+        truth = list(machine.cache_sizes)
+        for policy_name, make_policy in policies(machine).items():
+            servet = detect_caches(
+                SimulatedBackend(machine, paging=make_policy(), seed=6)
+            ).sizes
+            xray = xray_cache_sizes(
+                SimulatedBackend(machine, paging=make_policy(), seed=6)
+            ).sizes
+            outcomes[(machine.name, policy_name)] = (servet, xray)
+            rows.append(
+                (
+                    machine.name,
+                    policy_name,
+                    " / ".join(format_size(s) for s in servet),
+                    "OK" if servet == truth else "WRONG",
+                    " / ".join(format_size(s) for s in xray),
+                    "OK" if xray == truth else "WRONG",
+                )
+            )
+    table = ascii_table(
+        ["machine", "page policy", "servet", "", "x-ray positional", ""],
+        rows,
+        title="Baseline: Servet vs X-Ray-style positional detection",
+    )
+    figure("Baseline servet vs xray", table)
+
+    for build in (dempsey, dunnington):
+        machine = build()
+        truth = list(machine.cache_sizes)
+        # Servet is exact under every policy.
+        for policy_name in policies(machine):
+            servet, _ = outcomes[(machine.name, policy_name)]
+            assert servet == truth, (machine.name, policy_name)
+        # The baseline needs well-behaved pages...
+        _, xray_super = outcomes[(machine.name, "superpages")]
+        assert xray_super == truth, machine.name
+        # ...and fails under random placement (the paper's portability
+        # argument): some physically indexed level is off.
+        _, xray_random = outcomes[(machine.name, "random (Linux)")]
+        assert xray_random != truth, machine.name

@@ -1,0 +1,77 @@
+"""Extension — TLB entry-count detection.
+
+Not in the paper's evaluation, but squarely in its lineage: the
+Saavedra & Smith methodology Servet builds on (ref. [15]) measures the
+TLB with the same cliff-hunting approach.  The bench sweeps machines
+with different TLB designs (fully- and set-associative, 64-2048
+entries) and shows the detector recovering the entry count — or
+honestly reporting None when the cliff coincides with a cache's line
+capacity.
+"""
+
+import pytest
+
+from repro.backends import SimulatedBackend
+from repro.core.tlb import detect_tlb_entries
+from repro.memsim import TLBSpec
+from repro.topology import generic_smp
+from repro.units import KiB, MiB
+from repro.viz import ascii_table
+
+CONFIGS = (
+    (64, None),
+    (128, None),
+    (256, 4),
+    (512, None),   # == L1 line capacity: ambiguous by design
+    (1024, 8),
+    (2048, None),
+)
+
+
+def build(entries, ways):
+    return generic_smp(
+        n_cores=2,
+        levels=[("32KB", 8, 1, 3.0), ("2MB", 8, 1, 18.0)],
+        tlb=TLBSpec(entries=entries, ways=ways, walk_cycles=40.0),
+    )
+
+
+def test_tlb_detection_sweep(figure, benchmark):
+    backend = SimulatedBackend(build(64, None), seed=2)
+    benchmark.pedantic(
+        lambda: detect_tlb_entries(backend, [32 * KiB, 2 * MiB]),
+        rounds=3,
+        iterations=1,
+    )
+    rows = []
+    results = {}
+    for entries, ways in CONFIGS:
+        be = SimulatedBackend(build(entries, ways), seed=2)
+        detection = detect_tlb_entries(be, [32 * KiB, 2 * MiB])
+        results[(entries, ways)] = detection.entries
+        rows.append(
+            (
+                entries,
+                "full" if ways is None else f"{ways}-way",
+                detection.entries if detection.entries is not None else "(none)",
+                "OK"
+                if detection.entries == entries
+                else ("ambiguous" if detection.entries is None else "WRONG"),
+            )
+        )
+    # And a machine with no TLB modelled at all.
+    no_tlb = generic_smp(n_cores=2, levels=[("32KB", 8, 1, 3.0), ("2MB", 8, 1, 18.0)])
+    detection = detect_tlb_entries(SimulatedBackend(no_tlb, seed=2), [32 * KiB, 2 * MiB])
+    rows.append(("(no TLB)", "-", detection.entries or "(none)", "OK"))
+    table = ascii_table(
+        ["true entries", "associativity", "detected", "verdict"],
+        rows,
+        title="Extension: TLB entry-count detection (page+line stride probe)",
+    )
+    figure("Extension TLB detection", table)
+
+    for (entries, ways), got in results.items():
+        if entries == 512:
+            assert got is None  # collides with the L1 line capacity
+        else:
+            assert got == entries, (entries, ways, got)

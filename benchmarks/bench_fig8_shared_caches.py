@@ -1,0 +1,92 @@
+"""Fig. 8 — shared-cache detection ratios.
+
+Paper: for pairs containing core 0, the cache-access-overhead ratio
+(Fig. 5 metric).  (a) Dunnington: the L2 ratio spikes only for core 12;
+the L3 ratio spikes for cores {1, 2, 12, 13, 14} — exposing the
+non-obvious OS numbering.  (b) Finis Terrae: every ratio stays below 2
+(all caches private).
+"""
+
+import pytest
+
+from repro.backends import SimulatedBackend
+from repro.core.shared_cache import detect_shared_caches
+from repro.topology import dunnington, finis_terrae_node
+from repro.units import KiB, MiB
+from repro.viz import ascii_table
+
+
+@pytest.fixture(scope="module")
+def dn_result():
+    backend = SimulatedBackend(dunnington(), seed=42)
+    return detect_shared_caches(backend, [32 * KiB, 3 * MiB, 12 * MiB])
+
+
+@pytest.fixture(scope="module")
+def ft_result():
+    backend = SimulatedBackend(finis_terrae_node(), seed=42)
+    return detect_shared_caches(backend, [16 * KiB, 256 * KiB, 9 * MiB])
+
+
+def _core0_rows(result, n_cores):
+    rows = []
+    for other in range(1, n_cores):
+        ratios = [
+            f"{result.ratios[lvl][(0, other)]:.2f}"
+            for lvl in range(len(result.cache_sizes))
+        ]
+        rows.append((f"(0,{other})", *ratios))
+    return rows
+
+
+def test_fig8a_dunnington(dn_result, figure, benchmark):
+    backend = SimulatedBackend(dunnington(), seed=1)
+    benchmark.pedantic(
+        lambda: detect_shared_caches(
+            backend, [32 * KiB, 3 * MiB], cores=[0, 1, 12]
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    table = ascii_table(
+        ["pair", "L1 ratio", "L2 ratio", "L3 ratio"],
+        _core0_rows(dn_result, 24),
+        title="Fig. 8(a): shared-cache ratios on Dunnington (pairs with core 0; "
+        "ratio > 2 => shared)",
+    )
+    figure("Fig 8a shared caches dunnington", table)
+    # Core 12 is the L2 partner; {1,2,12,13,14} the L3 group.
+    assert dn_result.sharing_group(0, 2) == [0, 12]
+    assert dn_result.sharing_group(0, 3) == [0, 1, 2, 12, 13, 14]
+    # L1 never looks shared.
+    assert dn_result.shared_pairs[0] == []
+
+
+def test_fig8b_finis_terrae(ft_result, figure, benchmark):
+    be = SimulatedBackend(finis_terrae_node(), seed=1)
+    benchmark.pedantic(
+        lambda: detect_shared_caches(be, [16 * KiB], cores=[0, 1]),
+        rounds=3, iterations=1,
+    )
+    table = ascii_table(
+        ["pair", "L1 ratio", "L2 ratio", "L3 ratio"],
+        _core0_rows(ft_result, 16),
+        title="Fig. 8(b): shared-cache ratios on Finis Terrae (all below 2 => "
+        "all caches private)",
+    )
+    figure("Fig 8b shared caches finis terrae", table)
+    assert all(not pairs for pairs in ft_result.shared_pairs)
+    worst = max(
+        ratio for level in ft_result.ratios for ratio in level.values()
+    )
+    assert worst < 2.0
+
+
+def test_fig8a_ratio_magnitudes(dn_result, benchmark):
+    """Shared pairs don't just cross the threshold — they sit far above
+    it (the paper's plots show ratios of ~3-5)."""
+    benchmark.pedantic(lambda: dn_result.sharing_group(0, 3), rounds=5, iterations=1)
+    l2 = dn_result.ratios[1][(0, 12)]
+    l3 = dn_result.ratios[2][(0, 1)]
+    assert l2 > 2.5
+    assert l3 > 2.5

@@ -1,0 +1,126 @@
+"""Fig. 9 — memory access overhead characterization.
+
+Paper: (a) bandwidth of core 0 when paired with each other core.
+Dunnington: a uniform drop for every pair.  Finis Terrae: pairing with
+cores 1-3 (shared bus) is worst, 4-7 (same cell) loses ~25 %, 8-15
+(other cell) shows no overhead.  (b) effective bandwidth as more cores
+of a group stream concurrently (bus and cell curves for FT).
+"""
+
+import pytest
+
+from repro.backends import SimulatedBackend
+from repro.core.memory_overhead import characterize_memory_overhead
+from repro.topology import dunnington, finis_terrae_node
+from repro.units import format_bandwidth
+from repro.viz import ascii_chart, ascii_table
+
+
+@pytest.fixture(scope="module")
+def dn_result():
+    return characterize_memory_overhead(SimulatedBackend(dunnington(), seed=42))
+
+
+@pytest.fixture(scope="module")
+def ft_result():
+    return characterize_memory_overhead(
+        SimulatedBackend(finis_terrae_node(), seed=42)
+    )
+
+
+def test_fig9a_pair_bandwidths(dn_result, ft_result, figure, benchmark):
+    backend = SimulatedBackend(finis_terrae_node(), seed=1)
+    benchmark.pedantic(
+        lambda: characterize_memory_overhead(backend, cores=list(range(8))),
+        rounds=3,
+        iterations=1,
+    )
+    rows = [("ref (isolated)",
+             format_bandwidth(dn_result.reference),
+             format_bandwidth(ft_result.reference))]
+    for other in range(1, 16):
+        dn_bw = dn_result.pair_bandwidths.get((0, other))
+        ft_bw = ft_result.pair_bandwidths.get((0, other))
+        rows.append(
+            (
+                f"(0,{other})",
+                format_bandwidth(dn_bw) if dn_bw else "-",
+                format_bandwidth(ft_bw) if ft_bw else "-",
+            )
+        )
+    table = ascii_table(
+        ["pair", "dunnington bw(core 0)", "finis_terrae bw(core 0)"],
+        rows,
+        title="Fig. 9(a): memory bandwidth with two simultaneous accesses",
+    )
+    figure("Fig 9a pairwise memory bandwidth", table)
+
+    # Dunnington: uniform overhead (single level, all pairs).
+    assert dn_result.n_levels == 1
+    assert len(dn_result.levels[0].pairs) == 24 * 23 // 2
+    # Finis Terrae: bus < cell < cross-cell == ref.
+    bus = ft_result.pair_bandwidths[(0, 1)]
+    cell = ft_result.pair_bandwidths[(0, 4)]
+    cross = ft_result.pair_bandwidths[(0, 8)]
+    assert bus < cell < cross
+    assert cross == pytest.approx(ft_result.reference, rel=0.05)
+    assert cell == pytest.approx(0.75 * ft_result.reference, rel=0.08)
+
+
+def test_fig9b_scalability_curves(dn_result, ft_result, figure, benchmark):
+    from repro.core.memory_overhead import memory_scalability
+    be = SimulatedBackend(finis_terrae_node(), seed=1)
+    benchmark.pedantic(lambda: memory_scalability(be, [0, 1, 2, 3]), rounds=3, iterations=1)
+    curves = {}
+    n = max(
+        len(dn_result.scalability[0]),
+        max((len(c) for c in ft_result.scalability), default=0),
+    )
+    xs = list(range(1, n + 1))
+
+    def padded(curve):
+        return [curve[i] if i < len(curve) else None for i in range(n)]
+
+    curves["dunnington"] = padded(dn_result.scalability[0])
+    curves["ft-bus"] = padded(ft_result.scalability[0])
+    curves["ft-cell"] = padded(ft_result.scalability[1])
+    chart = ascii_chart(
+        xs,
+        curves,
+        x_label="concurrent cores",
+        y_label="bandwidth of core 0 (B/s)",
+        title="Fig. 9(b): memory performance with multiple simultaneous accesses",
+    )
+    rows = [
+        (
+            k + 1,
+            *(
+                format_bandwidth(c[k]) if k < len(c) and c[k] else "-"
+                for c in (
+                    dn_result.scalability[0],
+                    ft_result.scalability[0],
+                    ft_result.scalability[1],
+                )
+            ),
+        )
+        for k in range(n)
+    ]
+    table = ascii_table(["cores", "dunnington", "ft bus group", "ft cell group"], rows)
+    figure("Fig 9b memory scalability", chart + "\n\n" + table)
+
+    # Shapes: every curve is non-increasing; the Dunnington FSB
+    # saturates hard (24 cores share ~1.4x one core's bandwidth).
+    for curve in (dn_result.scalability[0], *ft_result.scalability):
+        assert all(a >= b - 0.05 * a for a, b in zip(curve, curve[1:]))
+    dn_curve = dn_result.scalability[0]
+    assert dn_curve[0] / dn_curve[-1] > 5  # severe per-core collapse
+
+
+def test_fig9a_group_structure(ft_result, benchmark):
+    benchmark.pedantic(lambda: ft_result.overhead_level_of((0, 1)), rounds=5, iterations=1)
+    assert ft_result.levels[0].groups == [
+        [0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12, 13, 14, 15]
+    ]
+    assert ft_result.levels[1].groups == [
+        list(range(8)), list(range(8, 16))
+    ]

@@ -1,0 +1,58 @@
+"""Autotuned tiling: detected cache sizes drive matmul blocking.
+
+Section V: "Tiling is one of the most widely used optimization
+techniques and our suite can help to this technique by providing all
+the cache sizes in a portable way."
+
+The example detects cache sizes on two machines with very different
+hierarchies (Dempsey: 16 KB / 2 MB; Athlon: 64 KB / 512 KB), derives
+per-level tile sides, and compares the modelled cache-line traffic of a
+naive versus blocked matrix multiply — the same matrices, different
+machines, different tiles, as an autotuned code would pick.
+
+Run with:  python examples/autotune_tiling.py
+"""
+
+from repro import Advisor, ServetSuite, SimulatedBackend, athlon_3200, dempsey
+from repro.autotune import matmul_traffic
+from repro.units import format_size
+from repro.viz import ascii_table
+
+
+def main() -> None:
+    n = 2048  # matrix dimension (float64)
+    rows = []
+    for build in (dempsey, athlon_3200):
+        machine = build()
+        backend = SimulatedBackend(machine, seed=7)
+        report = ServetSuite(backend).run()
+        advisor = Advisor(report)
+
+        naive = matmul_traffic(n, None)
+        for cache in report.caches:
+            tile = advisor.matmul_tile(cache.level)
+            tiled = matmul_traffic(n, tile)
+            rows.append(
+                (
+                    machine.name,
+                    f"L{cache.level} ({format_size(cache.size)})",
+                    f"{tile} x {tile}",
+                    f"{naive / tiled:.1f}x",
+                )
+            )
+
+    print(
+        ascii_table(
+            ["machine", "target cache (detected)", "tile", "traffic reduction"],
+            rows,
+            title=f"Blocked {n} x {n} float64 matmul, tiles from Servet reports",
+        )
+    )
+    print(
+        "\nThe same code adapts its blocking to each machine purely from "
+        "the measured cache sizes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Best-effort native probe of the host machine.
+
+The reproduction's calibration note is explicit: CPython cannot resolve
+cache-level timing differences, so this is a demonstration of the
+backend *interface* on real hardware rather than an accurate detector
+(a C extension would be needed for that — see DESIGN.md §2).  The
+mcalibrator curve is printed so you can judge for yourself how much of
+the hierarchy survives the interpreter overhead.
+
+Run with:  python examples/native_probe.py
+"""
+
+from repro import NativeBackend
+from repro.core import run_mcalibrator
+from repro.units import KiB, MiB, format_size
+from repro.viz import ascii_chart
+
+
+def main() -> None:
+    backend = NativeBackend(repeats=4)
+    print(f"probing {backend.name}: {backend.n_cores} cores, "
+          f"page {format_size(backend.page_size)}")
+
+    mres = run_mcalibrator(
+        backend,
+        min_cache=4 * KiB,
+        max_cache=16 * MiB,
+        samples=1,
+    )
+    print(
+        ascii_chart(
+            [float(s) for s in mres.sizes],
+            {"ns/access": list(mres.cycles)},
+            logx=True,
+            x_label="array size (bytes)",
+            y_label="time per access",
+            title="native mcalibrator curve (indicative only)",
+            width=64,
+            height=12,
+        )
+    )
+    grads = mres.gradients
+    big = [
+        (format_size(int(mres.sizes[i])), round(float(g), 2))
+        for i, g in enumerate(grads)
+        if g > 1.3
+    ]
+    print("\nsizes where the per-access time jumps >30%:", big or "none visible")
+    print(
+        "\n(Interpreter overhead dominates below L2; expect only the "
+        "largest cache boundary, if any, to be visible.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Measured-layer-driven process placement, validated by execution.
+
+The paper's Section V: "The information about the possible overheads
+can be used to automatically map the processes to certain cores in
+order to avoid either communication or memory access bottlenecks."
+
+This example:
+
+1. runs Servet on a 2-node Finis Terrae cluster to get the report;
+2. builds a communication-heavy application (a 1-D halo exchange ring
+   with heavy nearest-neighbour traffic);
+3. derives an optimized placement from the *measured* layers;
+4. validates by actually executing the application on the simulated
+   MPI runtime under each placement and comparing virtual times.
+
+Run with:  python examples/process_placement.py
+"""
+
+import numpy as np
+
+from repro import Advisor, ServetSuite, SimulatedBackend, finis_terrae
+from repro.autotune import compact_placement, scatter_placement
+from repro.netsim import default_comm_config
+from repro.simmpi import Rank, World
+from repro.units import KiB, format_time
+from repro.viz import ascii_table
+
+N_RANKS = 16
+HALO_BYTES = 32 * KiB
+ITERATIONS = 50
+
+
+def ring_comm_matrix(n: int) -> np.ndarray:
+    """Messages per iteration: each rank exchanges halos with both
+    neighbours (non-periodic chain keeps the pattern mappable)."""
+    matrix = np.zeros((n, n))
+    for i in range(n - 1):
+        matrix[i, i + 1] = 1.0
+        matrix[i + 1, i] = 1.0
+    return matrix
+
+
+def halo_program(rank: Rank):
+    """One rank of the halo-exchange application."""
+    left, right = rank.id - 1, rank.id + 1
+    for it in range(ITERATIONS):
+        # Post exchanges in a deadlock-free order (even send first).
+        for neighbour in (right, left):
+            if not (0 <= neighbour < rank.size):
+                continue
+            if rank.id % 2 == 0:
+                yield rank.send(neighbour, HALO_BYTES, tag=it)
+                yield rank.recv(neighbour, tag=it)
+            else:
+                yield rank.recv(neighbour, tag=it)
+                yield rank.send(neighbour, HALO_BYTES, tag=it)
+        yield rank.compute(5e-6)  # local stencil work
+
+
+def run_placement(cluster, config, placement) -> float:
+    """Execute the application under a placement; return virtual time."""
+    world = World(cluster, config, placement)
+    world.spawn_all(halo_program)
+    return world.run().makespan
+
+
+def run_scenario(title: str, cluster, n_ranks: int, seed: int) -> None:
+    config = default_comm_config(cluster)
+    print(f"Running Servet on {title}...")
+    backend = SimulatedBackend(cluster, seed=seed)
+    report = ServetSuite(backend).run()
+    advisor = Advisor(report)
+
+    matrix = ring_comm_matrix(n_ranks)
+    placements = {
+        f"compact (cores 0..{n_ranks - 1})": compact_placement(n_ranks),
+        "scatter (striped)": scatter_placement(n_ranks, cluster.n_cores),
+    }
+    optimized = advisor.place(matrix, message_size=HALO_BYTES)
+    placements["servet-optimized"] = optimized.placement
+
+    rows = []
+    for name, placement in placements.items():
+        modelled = advisor.placement_cost(placement, matrix, HALO_BYTES)
+        measured = run_placement(cluster, config, placement)
+        rows.append((name, format_time(modelled), format_time(measured)))
+
+    print()
+    print(
+        ascii_table(
+            ["placement", "modelled cost/iter", "executed virtual time"],
+            rows,
+            title=f"{n_ranks}-rank halo exchange on {title}, "
+            f"{ITERATIONS} iterations",
+        )
+    )
+    print(f"  optimized placement: {optimized.placement}\n")
+
+
+def main() -> None:
+    from repro import Cluster, dunnington
+
+    # Dunnington's three intra-node layers (shared-L2 < shared-L3 <
+    # inter-processor) give the optimizer real choices: the OS core
+    # numbering hides the fast pairs at (c, c+12).
+    run_scenario(
+        "the Dunnington node", Cluster("dunnington", dunnington()), 12, seed=11
+    )
+    # On Finis Terrae the intra-node layer is uniform, so the win is
+    # simply keeping the ring off the InfiniBand as much as possible.
+    run_scenario("the 2-node Finis Terrae cluster", finis_terrae(2), 16, seed=11)
+    print(
+        "The optimizer only saw Servet's measurements, yet its placements "
+        "win (or tie compact) on the executed runtime too."
+    )
+
+
+if __name__ == "__main__":
+    main()

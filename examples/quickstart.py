@@ -1,0 +1,52 @@
+"""Quickstart: run the full Servet suite on a simulated Dunnington node.
+
+This is the paper's install-time workflow: run the four benchmarks
+once, store the report, and let applications consult it later.
+
+Run with:  python examples/quickstart.py
+"""
+
+from pathlib import Path
+
+from repro import Advisor, ServetSuite, SimulatedBackend, dunnington
+
+
+def main() -> None:
+    # The system under test: 4x Xeon E7450 hexacore (paper Section IV).
+    machine = dunnington()
+    backend = SimulatedBackend(machine, seed=42)
+
+    # Run all four benchmarks (Figs. 1-7 of the paper).
+    suite = ServetSuite(backend)
+    report = suite.run()
+    print(report.summary())
+
+    # Store the report; an autotuned application loads it at startup.
+    path = Path("servet_report_dunnington.json")
+    report.save(path)
+    print(f"\nreport stored in {path}")
+
+    # ...and asks questions like these (paper Section V):
+    advisor = Advisor.from_file(path)
+    print("\nAutotuning answers derived from the measurements:")
+    print(f"  cache sizes (L1..): {report.cache_sizes}")
+    print(f"  cores sharing L2 with core 0: {report.cache_sharing_group(0, 2)}")
+    print(f"  cores sharing L3 with core 0: {report.cache_sharing_group(0, 3)}")
+    plan = advisor.matmul_tiles(elem_size=8)
+    print(f"  blocked-matmul tile sides per level: {plan.sides}")
+    print(
+        "  concurrent streaming cores worth using: "
+        f"{advisor.max_useful_streaming_cores()}"
+    )
+    advice = advisor.should_aggregate(0, 3, n_messages=16, message_size=4096)
+    print(
+        "  16 x 4KB messages between cores 0 and 3: "
+        + ("aggregate" if advice.aggregate else "send separately")
+        + f" (predicted speedup {advice.speedup:.2f}x)"
+    )
+
+    path.unlink()  # keep the repository clean after the demo
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment this project targets ships setuptools but not
+``wheel``, so PEP-517 editable installs (which build an editable wheel)
+fail.  Keeping a classic ``setup.py`` lets ``pip install -e .`` fall
+back to the legacy ``develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""``python -m repro`` runs the Servet CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

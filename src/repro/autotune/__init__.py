@@ -1,0 +1,61 @@
+"""Autotuning consumers of a Servet report.
+
+Section V of the paper lists the optimizations the measured parameters
+enable; this package implements them against :class:`ServetReport`:
+
+- :mod:`tiling` — tile-size selection from the detected cache sizes
+  (blocked matrix multiply model included).
+- :mod:`mapping` — process placement minimizing communication and
+  memory-contention cost over the measured layers/groups.
+- :mod:`aggregation` — message aggregation on poorly scalable
+  interconnects ("sending concurrently N messages of size S usually
+  costs more than sending one message of size N*S").
+- :mod:`advisor` — one façade over all of the above.
+"""
+
+from .tiling import (
+    TilePlan,
+    matmul_plan,
+    matmul_tile_side,
+    matmul_traffic,
+    tile_elements,
+)
+from .mapping import (
+    PlacementResult,
+    bandwidth_aware_placement,
+    compact_placement,
+    scatter_placement,
+    placement_cost,
+    optimize_placement,
+)
+from .aggregation import AggregationAdvice, aggregation_advice
+from .collectives import (
+    CollectiveChoice,
+    choose_bcast,
+    locality_groups,
+    predict_flat_bcast,
+    predict_hierarchical_bcast,
+)
+from .advisor import Advisor
+
+__all__ = [
+    "TilePlan",
+    "matmul_plan",
+    "matmul_tile_side",
+    "tile_elements",
+    "matmul_traffic",
+    "PlacementResult",
+    "bandwidth_aware_placement",
+    "compact_placement",
+    "scatter_placement",
+    "placement_cost",
+    "optimize_placement",
+    "AggregationAdvice",
+    "aggregation_advice",
+    "CollectiveChoice",
+    "choose_bcast",
+    "locality_groups",
+    "predict_flat_bcast",
+    "predict_hierarchical_bcast",
+    "Advisor",
+]

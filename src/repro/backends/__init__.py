@@ -1,0 +1,21 @@
+"""Measurement backends.
+
+The Servet benchmark algorithms (:mod:`repro.core`) are written against
+the :class:`Backend` protocol and never see the machine model directly —
+they must *measure* everything, exactly like the real suite.  Two
+implementations exist:
+
+- :class:`SimulatedBackend` — drives the :mod:`repro.memsim` /
+  :mod:`repro.netsim` / :mod:`repro.simmpi` substrate, with calibrated
+  measurement noise and virtual-time accounting (for Table I).
+- :class:`NativeBackend` — best-effort real timings on the host
+  machine with NumPy/threads.  Provided for completeness; CPython
+  interpreter overhead masks cache effects (the reason this
+  reproduction simulates — see DESIGN.md §2).
+"""
+
+from .base import Backend, ConcurrentLatency
+from .simulated import SimulatedBackend
+from .native import NativeBackend
+
+__all__ = ["Backend", "ConcurrentLatency", "SimulatedBackend", "NativeBackend"]

@@ -1,0 +1,13 @@
+"""Prior-work baseline detectors the paper compares against.
+
+Section II positions Servet against X-Ray/P-Ray (Yotov et al.;
+Duchateau et al.): those suites read cache sizes *positionally* from
+the cycles curve, which requires the OS to color pages or provide
+superpages — exactly the portability problem the probabilistic
+algorithm solves.  This package implements that baseline faithfully so
+the comparison benchmarks can regenerate the paper's argument.
+"""
+
+from .xray import XRayResult, xray_cache_sizes
+
+__all__ = ["XRayResult", "xray_cache_sizes"]

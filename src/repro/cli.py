@@ -1,0 +1,241 @@
+"""Command-line interface: ``servet`` (or ``python -m repro``).
+
+Subcommands:
+
+- ``servet machines`` — list the built-in machine models.
+- ``servet run --machine dunnington -o report.json`` — run the full
+  suite on a simulated machine and store the report (the paper's
+  install-time step).
+- ``servet report report.json`` — pretty-print a stored report.
+- ``servet advise report.json --matmul-elem 8`` — sample autotuning
+  answers derived from a report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .autotune import Advisor
+from .backends import SimulatedBackend
+from .core import ServetReport, ServetSuite
+from .errors import ReproError
+from .netsim import default_comm_config
+from .topology import (
+    Cluster,
+    build_machine,
+    builder_names,
+    finis_terrae,
+    load_cluster,
+    save_cluster,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="servet",
+        description="Servet benchmark suite (simulated-substrate reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list built-in machine models")
+
+    run = sub.add_parser("run", help="run the full suite on a machine model")
+    run.add_argument(
+        "--machine",
+        default="dunnington",
+        help=f"one of: {', '.join(builder_names())}",
+    )
+    run.add_argument(
+        "--machine-file",
+        default=None,
+        help="JSON cluster description (see 'servet export-machine'); "
+        "overrides --machine",
+    )
+    run.add_argument(
+        "--nodes",
+        type=int,
+        default=1,
+        help="number of cluster nodes (finis_terrae only; default 1)",
+    )
+    run.add_argument("--seed", type=int, default=42, help="measurement RNG seed")
+    run.add_argument(
+        "--noise", type=float, default=0.01, help="relative measurement noise"
+    )
+    run.add_argument(
+        "-o", "--output", default=None, help="write the JSON report here"
+    )
+
+    rep = sub.add_parser("report", help="pretty-print a stored report")
+    rep.add_argument("path", help="JSON report produced by 'servet run'")
+
+    adv = sub.add_parser("advise", help="sample autotuning answers for a report")
+    adv.add_argument("path", help="JSON report produced by 'servet run'")
+    adv.add_argument(
+        "--matmul-elem", type=int, default=8, help="matrix element size in bytes"
+    )
+
+    val = sub.add_parser(
+        "validate",
+        help="compare a report against a built-in machine's ground truth "
+        "(repository CI helper)",
+    )
+    val.add_argument("path", help="JSON report produced by 'servet run'")
+    val.add_argument(
+        "--machine",
+        required=True,
+        help=f"one of: {', '.join(builder_names())}",
+    )
+
+    exp = sub.add_parser(
+        "export-machine",
+        help="write a built-in machine's JSON description (a template for "
+        "describing your own system)",
+    )
+    exp.add_argument("machine", help=f"one of: {', '.join(builder_names())}")
+    exp.add_argument("-o", "--output", required=True, help="output JSON path")
+    exp.add_argument(
+        "--nodes", type=int, default=1, help="number of cluster nodes"
+    )
+    return parser
+
+
+def _cmd_machines() -> int:
+    for name in builder_names():
+        machine = build_machine(name)
+        print(machine.summary())
+        print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    comm_config = None
+    if args.machine_file is not None:
+        system, comm_config = load_cluster(args.machine_file)
+    elif args.machine == "finis_terrae" and args.nodes > 1:
+        system = finis_terrae(args.nodes)
+    else:
+        if args.nodes > 1:
+            print(
+                f"note: --nodes ignored for {args.machine} (single-node model)",
+                file=sys.stderr,
+            )
+        system = build_machine(args.machine)
+    backend = SimulatedBackend(
+        system, comm_config=comm_config, seed=args.seed, noise=args.noise
+    )
+    report = ServetSuite(backend).run()
+    print(report.summary())
+    if args.output:
+        report.save(args.output)
+        print(f"\nreport written to {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(ServetReport.load(args.path).summary())
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    advisor = Advisor.from_file(args.path)
+    report = advisor.report
+    print(f"Autotuning advice for {report.system}:")
+    plan = advisor.matmul_tiles(elem_size=args.matmul_elem)
+    for level, side in sorted(plan.sides.items()):
+        print(f"  matmul tile for L{level}: {side} x {side}")
+    if report.memory_levels:
+        k = advisor.max_useful_streaming_cores()
+        group = report.memory_levels[0].groups[0] if report.memory_levels[0].groups else []
+        print(
+            f"  streaming cores worth using in group {group}: {k}"
+        )
+    for layer in report.comm_layers:
+        advice = None
+        if layer.pairs:
+            a, b = layer.pairs[0]
+            advice = advisor.should_aggregate(a, b, 16, 4096)
+        if advice is not None:
+            verb = "aggregate" if advice.aggregate else "send separately"
+            print(
+                f"  layer {layer.index}: 16 x 4KB messages -> {verb} "
+                f"(speedup {advice.speedup:.2f}x)"
+            )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    report = ServetReport.load(args.path)
+    machine = build_machine(args.machine)
+    failures: list[str] = []
+
+    if report.cache_sizes != list(machine.cache_sizes):
+        failures.append(
+            f"cache sizes: detected {report.cache_sizes}, "
+            f"truth {list(machine.cache_sizes)}"
+        )
+    for cache in report.caches:
+        try:
+            truth_pairs = set(machine.shared_level_pairs(cache.level))
+        except ReproError:
+            truth_pairs = set()
+        got_pairs = set(cache.shared_pairs)
+        if got_pairs != truth_pairs:
+            failures.append(
+                f"L{cache.level} sharing: detected {len(got_pairs)} pairs, "
+                f"truth {len(truth_pairs)}"
+            )
+    if report.comm_layers:
+        # Layer count check only makes sense for single-node reports of
+        # this machine; cluster reports carry an inter-node layer too.
+        pass
+
+    if failures:
+        print(f"VALIDATION FAILED for {report.system} vs {machine.name}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"validation OK: {report.system} report matches {machine.name} "
+        f"ground truth ({len(report.caches)} cache levels, "
+        f"{len(report.comm_layers)} comm layers)"
+    )
+    return 0
+
+
+def _cmd_export_machine(args: argparse.Namespace) -> int:
+    if args.machine == "finis_terrae" and args.nodes > 1:
+        cluster = finis_terrae(args.nodes)
+    else:
+        machine = build_machine(args.machine)
+        cluster = Cluster(machine.name, machine, n_nodes=1)
+    save_cluster(cluster, args.output, comm=default_comm_config(cluster))
+    print(f"machine description written to {args.output}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "machines":
+            return _cmd_machines()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        if args.command == "advise":
+            return _cmd_advise(args)
+        if args.command == "validate":
+            return _cmd_validate(args)
+        if args.command == "export-machine":
+            return _cmd_export_machine(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Servet benchmark algorithms (the paper's contribution).
+
+Every algorithm here is implemented from the paper's pseudo-code
+figures and consumes only the :class:`repro.backends.Backend`
+measurement interface:
+
+- Fig. 1  -> :func:`mcalibrator.run_mcalibrator`
+- Fig. 3  -> :func:`probabilistic.probabilistic_cache_size`
+- Fig. 4  -> :func:`cache_size.detect_cache_levels`
+- Fig. 5  -> :func:`shared_cache.detect_shared_caches`
+- Fig. 6  -> :func:`memory_overhead.characterize_memory_overhead`
+- Fig. 7  -> :func:`comm_costs.detect_comm_layers` (+ characterization
+  and scalability, Section III-D)
+
+:class:`suite.ServetSuite` orchestrates the full run and produces a
+:class:`report.ServetReport` that autotuned applications consume.
+"""
+
+from .clustering import cluster_similar, groups_from_pairs, SimilarityCluster
+from .mcalibrator import McalibratorResult, default_sizes, run_mcalibrator
+from .probabilistic import ProbabilisticEstimate, probabilistic_cache_size
+from .cache_size import CacheLevelEstimate, CacheDetectionResult, detect_cache_levels
+from .shared_cache import SharedCacheResult, detect_shared_caches
+from .memory_overhead import (
+    MemoryOverheadResult,
+    OverheadLevel,
+    characterize_memory_overhead,
+    memory_scalability,
+)
+from .comm_costs import (
+    CommLayer,
+    CommCostsResult,
+    characterize_layers,
+    detect_comm_layers,
+    layer_scalability,
+)
+from .tlb import TLBDetection, detect_tlb_entries
+from .report import ServetReport
+from .suite import ServetSuite, SuiteTimings
+
+__all__ = [
+    "cluster_similar",
+    "groups_from_pairs",
+    "SimilarityCluster",
+    "McalibratorResult",
+    "default_sizes",
+    "run_mcalibrator",
+    "ProbabilisticEstimate",
+    "probabilistic_cache_size",
+    "CacheLevelEstimate",
+    "CacheDetectionResult",
+    "detect_cache_levels",
+    "SharedCacheResult",
+    "detect_shared_caches",
+    "MemoryOverheadResult",
+    "OverheadLevel",
+    "characterize_memory_overhead",
+    "memory_scalability",
+    "CommLayer",
+    "CommCostsResult",
+    "characterize_layers",
+    "detect_comm_layers",
+    "layer_scalability",
+    "TLBDetection",
+    "detect_tlb_entries",
+    "ServetReport",
+    "ServetSuite",
+    "SuiteTimings",
+]

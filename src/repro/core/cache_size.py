@@ -1,0 +1,352 @@
+"""Cache level and size detection (paper Fig. 4).
+
+Drives mcalibrator, analyzes the gradient curve ``C[k+1]/C[k]`` and
+dispatches each rise to the right size estimator:
+
+- the **first** peak is the virtually indexed L1: its size is read
+  positionally (the last array size before the jump);
+- a later peak confined to a **single** array size means the OS applies
+  page coloring (the cache behaves as virtually indexed): positional
+  read again;
+- a **wide** peak is the physically indexed, randomly paged case:
+  the probabilistic algorithm (Fig. 3) runs on the points around the
+  peak where the gradient exceeds 1;
+- a still-rising **tail** at the largest sizes also goes to the
+  probabilistic algorithm (the cache is near or beyond MAX_CACHE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.signal import find_peaks
+
+from ..backends.base import Backend
+from ..errors import DetectionError
+from .mcalibrator import MAX_CACHE, MIN_CACHE, STRIDE, McalibratorResult, run_mcalibrator
+from .probabilistic import ProbabilisticEstimate, probabilistic_cache_size
+
+#: A gradient above this marks a significant rise (5 % over flat).
+GRADIENT_THRESHOLD: float = 1.05
+#: Region edges are extended outwards while the gradient exceeds this.
+EXTEND_THRESHOLD: float = 1.01
+#: Valley depth (relative to the smaller neighbouring peak's height
+#: above 1) below which two maxima in one region are split apart.
+VALLEY_FRACTION: float = 0.5
+#: Total cycles rise ``C[end] / C[start]`` a region must show to count
+#: as a cache boundary (filters single-point measurement noise).
+MIN_RISE: float = 1.3
+
+
+@dataclass
+class CacheLevelEstimate:
+    """One detected cache level."""
+
+    level: int
+    size: int
+    #: "l1-peak", "positional" (page-coloring case) or "probabilistic".
+    method: str
+    #: Index range ``[lo, hi)`` of mcalibrator points used.
+    used_range: tuple[int, int]
+    #: Present when the probabilistic algorithm produced the estimate.
+    probabilistic: ProbabilisticEstimate | None = None
+
+
+@dataclass
+class CacheDetectionResult:
+    """All cache levels detected from one mcalibrator run."""
+
+    levels: list[CacheLevelEstimate]
+    mcalibrator: McalibratorResult
+    page_size: int
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def sizes(self) -> list[int]:
+        """Detected sizes, L1 first."""
+        return [lvl.size for lvl in self.levels]
+
+
+def _gradient_regions(gradients: np.ndarray) -> list[tuple[int, int]]:
+    """Contiguous index runs (inclusive) where the gradient is a rise."""
+    above = gradients > GRADIENT_THRESHOLD
+    regions: list[tuple[int, int]] = []
+    start: int | None = None
+    for i, flag in enumerate(above):
+        if flag and start is None:
+            start = i
+        elif not flag and start is not None:
+            regions.append((start, i - 1))
+            start = None
+    if start is not None:
+        regions.append((start, len(above) - 1))
+    return regions
+
+
+def _split_at_valleys(gradients: np.ndarray, lo: int, hi: int) -> list[tuple[int, int]]:
+    """Split ``[lo, hi]`` at deep valleys between *prominent* maxima.
+
+    Two caches with close sizes produce overlapping rises whose gradient
+    region never dips under the threshold; a valley dropping below
+    ``1 + VALLEY_FRACTION * (min(peak heights) - 1)`` between two
+    prominent peaks separates them.  Prominence filtering (scipy
+    ``find_peaks``) ignores the small local maxima measurement noise
+    sprinkles over a wide binomial smear.
+    """
+    segment = gradients[lo : hi + 1]
+    if len(segment) < 3:
+        return [(lo, hi)]
+    # Fixed prominence: well above measurement-noise jitter on the
+    # gradient (a few percent), well below any real cache boundary's
+    # rise.  Scaling it with the tallest peak would suppress a genuine
+    # small peak sitting next to a huge L1 cliff.
+    prominence = 0.15
+    # Pad with flat gradient so a maximum sitting on the region boundary
+    # still counts as a peak (find_peaks never reports endpoints).
+    padded = np.concatenate(([1.0], segment, [1.0]))
+    peaks, _ = find_peaks(
+        padded - 1.0, height=GRADIENT_THRESHOLD - 1.0, prominence=prominence
+    )
+    peaks = peaks - 1  # back to segment coordinates
+    if len(peaks) <= 1:
+        return [(lo, hi)]
+    pieces: list[tuple[int, int]] = []
+    piece_start = lo
+    for left, right in zip(peaks, peaks[1:]):
+        valley_rel = int(np.argmin(segment[left : right + 1])) + left
+        depth_cut = 1.0 + VALLEY_FRACTION * (
+            min(segment[left], segment[right]) - 1.0
+        )
+        if segment[valley_rel] < depth_cut:
+            pieces.append((piece_start, lo + valley_rel))
+            piece_start = lo + valley_rel + 1
+    pieces.append((piece_start, hi))
+    return pieces
+
+
+def _extend_region(
+    gradients: np.ndarray,
+    lo: int,
+    hi: int,
+    lo_bound: int = 0,
+    hi_bound: int | None = None,
+) -> tuple[int, int]:
+    """Grow the region while the gradient stays above EXTEND_THRESHOLD.
+
+    ``lo_bound``/``hi_bound`` clamp the growth so a region never bleeds
+    into a neighbouring region's rise (two nearby cache levels connected
+    by a shallow noisy valley would otherwise contaminate each other's
+    probabilistic windows).
+    """
+    if hi_bound is None:
+        hi_bound = len(gradients) - 1
+    while lo > lo_bound and gradients[lo - 1] > EXTEND_THRESHOLD:
+        lo -= 1
+    while hi < hi_bound and gradients[hi + 1] > EXTEND_THRESHOLD:
+        hi += 1
+    return lo, hi
+
+
+def detect_cache_levels(
+    mres: McalibratorResult,
+    page_size: int,
+) -> CacheDetectionResult:
+    """Apply the Fig. 4 decision procedure to an mcalibrator result."""
+    gradients = mres.gradients
+    raw_regions = _gradient_regions(gradients)
+    if not raw_regions:
+        raise DetectionError(
+            "no gradient peaks found: no cache boundary lies inside the "
+            "probed size range"
+        )
+    split_regions: list[tuple[int, int]] = []
+    for lo, hi in raw_regions:
+        split_regions.extend(_split_at_valleys(gradients, lo, hi))
+    split_regions.sort()
+
+    # The L1 cliff is always a single-point jump (virtually indexed,
+    # exact capacity), but on machines whose L2 sits close above the L1
+    # the conflict smear starts immediately and the gradient never dips
+    # back under the threshold: the first region then contains both.
+    # Split it deterministically at the L1 peak.
+    lo0, hi0 = split_regions[0]
+    peak0 = int(np.argmax(gradients[lo0 : hi0 + 1])) + lo0
+    if hi0 > peak0 and mres.cycles[hi0 + 1] / mres.cycles[peak0 + 1] >= MIN_RISE:
+        split_regions[0] = (lo0, peak0)
+        if len(split_regions) > 1 and split_regions[1][0] == hi0 + 1:
+            # The residual is the foot of the next region's rise (the
+            # earlier valley split put the boundary inside it): merge.
+            split_regions[1] = (peak0 + 1, split_regions[1][1])
+        else:
+            split_regions.insert(1, (peak0 + 1, hi0))
+
+    # Extend each region towards its neighbours (never across them) and
+    # drop regions whose total cycles rise is insignificant: a lone
+    # noisy gradient point is not a cache boundary.
+    regions: list[tuple[int, int, int, int]] = []  # (lo, hi, xlo, xhi)
+    for i, (lo, hi) in enumerate(split_regions):
+        lo_bound = split_regions[i - 1][1] + 1 if i > 0 else 0
+        hi_bound = (
+            split_regions[i + 1][0] - 1
+            if i + 1 < len(split_regions)
+            else len(gradients) - 1
+        )
+        xlo, xhi = _extend_region(gradients, lo, hi, lo_bound, hi_bound)
+        rise = mres.cycles[xhi + 1] / mres.cycles[xlo]
+        if rise >= MIN_RISE:
+            regions.append((lo, hi, xlo, xhi))
+    if not regions:
+        raise DetectionError(
+            "gradient peaks were all insignificant; no cache boundary "
+            "stands out of the measurement noise"
+        )
+
+    levels: list[CacheLevelEstimate] = []
+    for region_idx, (lo, hi, xlo, xhi) in enumerate(regions):
+        level_number = region_idx + 1
+        if region_idx == 0:
+            # L1 is virtually indexed: positional read at the peak.
+            peak = int(np.argmax(gradients[lo : hi + 1])) + lo
+            levels.append(
+                CacheLevelEstimate(
+                    level=level_number,
+                    size=int(mres.sizes[peak]),
+                    method="l1-peak",
+                    used_range=(peak, peak + 2),
+                )
+            )
+            continue
+        # "Peak is related only to a single array size" (Fig. 4): the
+        # OS used page coloring, so the cache behaves as virtually
+        # indexed.  Noise can smudge a one-point cliff into a short
+        # region, so the test is dominance: does one gradient jump
+        # carry (almost) the whole rise of the window?
+        window = gradients[xlo : xhi + 1]
+        peak = int(np.argmax(window)) + xlo
+        total_log_rise = float(np.log(mres.cycles[xhi + 1] / mres.cycles[xlo]))
+        peak_share = float(np.log(gradients[peak])) / total_log_rise
+        # 0.93: a true coloring cliff carries ~99% of the rise in one
+        # jump; even the steepest binomial transition (few page colors,
+        # e.g. a 512KB/16-way cache with 8 colors) stays below ~0.85.
+        if peak_share > 0.93:
+            levels.append(
+                CacheLevelEstimate(
+                    level=level_number,
+                    size=int(mres.sizes[peak]),
+                    method="positional",
+                    used_range=(peak, peak + 2),
+                )
+            )
+            continue
+        # Wide peak: probabilistic algorithm over the points where the
+        # gradient exceeds 1 around the peak (plus the bounding plateau
+        # points so miss rates normalize correctly).
+        c_lo, c_hi = xlo, xhi + 2  # C-index window [c_lo, c_hi)
+        estimate = probabilistic_cache_size(
+            mres.sizes[c_lo:c_hi], mres.cycles[c_lo:c_hi], page_size
+        )
+        levels.append(
+            CacheLevelEstimate(
+                level=level_number,
+                size=estimate.size,
+                method="probabilistic",
+                used_range=(c_lo, c_hi),
+                probabilistic=estimate,
+            )
+        )
+
+    return CacheDetectionResult(
+        levels=levels,
+        mcalibrator=mres,
+        page_size=page_size,
+        diagnostics={"regions": regions, "raw_regions": raw_regions},
+    )
+
+
+#: Probabilistic windows with fewer points than this get densified.
+MIN_WINDOW_POINTS: int = 8
+
+
+def _refine_probabilistic(
+    backend: Backend,
+    core: int,
+    stride: int,
+    estimate: CacheLevelEstimate,
+    mres: McalibratorResult,
+    samples: int,
+) -> CacheLevelEstimate:
+    """Re-estimate a level from a densified size sweep over its window.
+
+    The Fig. 1 schedule doubles sizes below 2 MB, leaving only a handful
+    of points across a small L2's rise — too few for a stable fit.  This
+    adaptive pass re-measures the window with an even step (a refinement
+    over the original suite, documented in DESIGN.md).
+    """
+    import numpy as np  # local alias for clarity
+
+    c_lo, c_hi = estimate.used_range
+    lo_size = int(mres.sizes[c_lo])
+    hi_size = int(mres.sizes[min(c_hi - 1, len(mres.sizes) - 1)])
+    span = hi_size - lo_size
+    step = max((span // 14) // stride * stride, stride)
+    sizes = list(range(lo_size, hi_size + 1, step))
+    if len(sizes) < 4:
+        return estimate
+    cycles = [
+        float(
+            np.mean(
+                [
+                    backend.traversal_cycles([(core, size)], stride)[core]
+                    for _ in range(samples)
+                ]
+            )
+        )
+        for size in sizes
+    ]
+    refined = probabilistic_cache_size(
+        np.asarray(sizes, dtype=np.float64),
+        np.asarray(cycles, dtype=np.float64),
+        backend.page_size,
+    )
+    return CacheLevelEstimate(
+        level=estimate.level,
+        size=refined.size,
+        method="probabilistic-refined",
+        used_range=estimate.used_range,
+        probabilistic=refined,
+    )
+
+
+def detect_caches(
+    backend: Backend,
+    core: int = 0,
+    min_cache: int = MIN_CACHE,
+    max_cache: int = MAX_CACHE,
+    stride: int = STRIDE,
+    samples: int = 5,
+    refine: bool = True,
+) -> CacheDetectionResult:
+    """Run mcalibrator on ``backend`` and detect levels (Fig. 4 driver).
+
+    With ``refine`` (default), probabilistic estimates whose analysis
+    window contains fewer than :data:`MIN_WINDOW_POINTS` measurements
+    are re-estimated from a densified sweep of the window.
+    """
+    mres = run_mcalibrator(
+        backend,
+        core=core,
+        min_cache=min_cache,
+        max_cache=max_cache,
+        stride=stride,
+        samples=samples,
+    )
+    result = detect_cache_levels(mres, backend.page_size)
+    if refine:
+        for i, est in enumerate(result.levels):
+            c_lo, c_hi = est.used_range
+            if est.method == "probabilistic" and c_hi - c_lo < MIN_WINDOW_POINTS:
+                result.levels[i] = _refine_probabilistic(
+                    backend, core, stride, est, mres, samples
+                )
+    return result

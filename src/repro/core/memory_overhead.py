@@ -1,0 +1,135 @@
+"""Memory-access overhead characterization (paper Fig. 6).
+
+Measures STREAM-copy bandwidth for an isolated core (the reference),
+then for every pair of cores accessing memory concurrently.  Pairs whose
+bandwidth falls significantly below the reference are grouped into
+overhead *levels* by bandwidth similarity (the BW/Pm arrays of Fig. 6);
+each level's pairs are merged into core *groups* (connected components),
+and one group per level is used to characterize how effective bandwidth
+scales with the number of concurrent cores (Fig. 9b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from ..backends.base import Backend
+from ..errors import MeasurementError
+from ..topology.machine import CorePair, all_pairs
+from .clustering import cluster_similar, groups_from_pairs
+
+#: Relative tolerance within which two bandwidths are "similar" (Fig. 6).
+SIMILARITY_TOLERANCE: float = 0.08
+#: A pair's bandwidth must be at least this fraction below the
+#: reference to count as overhead (absorbs measurement noise).
+SIGNIFICANCE: float = 0.05
+
+
+@dataclass
+class OverheadLevel:
+    """One overhead magnitude: BW[i] and Pm[i] of Fig. 6, plus groups."""
+
+    bandwidth: float
+    pairs: list[CorePair]
+    groups: list[list[int]]
+
+    @property
+    def example_group(self) -> list[int]:
+        """One representative group (enough to characterize the level)."""
+        return self.groups[0] if self.groups else []
+
+
+@dataclass
+class MemoryOverheadResult:
+    """Everything Fig. 6 produces, plus scalability curves (Fig. 9b)."""
+
+    reference: float
+    levels: list[OverheadLevel]
+    #: All pairwise bandwidths (core-0 slices of this are Fig. 9a).
+    pair_bandwidths: dict[CorePair, float] = field(default_factory=dict)
+    #: Per level: effective bandwidth of the first group's first core as
+    #: 1..len(group) of its cores run concurrently.
+    scalability: list[list[float]] = field(default_factory=list)
+
+    @property
+    def n_levels(self) -> int:
+        """The ``n`` output of Fig. 6."""
+        return len(self.levels)
+
+    def overhead_level_of(self, pair: CorePair) -> int | None:
+        """Index of the overhead level containing ``pair`` (None = no
+        overhead: the pair runs at full reference bandwidth)."""
+        key = tuple(sorted(pair))
+        for i, level in enumerate(self.levels):
+            if key in level.pairs:
+                return i
+        return None
+
+
+def characterize_memory_overhead(
+    backend: Backend,
+    cores: Sequence[int] | None = None,
+    reference_core: int = 0,
+    similarity: float = SIMILARITY_TOLERANCE,
+    significance: float = SIGNIFICANCE,
+) -> MemoryOverheadResult:
+    """Run the Fig. 6 algorithm (plus group inference and scalability)."""
+    if cores is None:
+        cores = list(range(backend.n_cores))
+    if reference_core not in cores:
+        raise MeasurementError("reference core must be among the tested cores")
+    ref = backend.copy_bandwidth([reference_core])[reference_core]
+    if not (ref > 0) or ref != ref:  # catches 0, negatives and NaN
+        raise MeasurementError(
+            f"reference bandwidth measurement is unusable ({ref!r})"
+        )
+
+    pair_bw: dict[CorePair, float] = {}
+    overhead_items: list[tuple[CorePair, float]] = []
+    for a, b in all_pairs(list(cores)):
+        bw = backend.copy_bandwidth([a, b])
+        # "the bandwidth of one core when both of them are concurrently
+        # accessing": measure the first core of the pair.
+        b_first = bw[a]
+        pair_bw[(a, b)] = b_first
+        if b_first < ref * (1.0 - significance):
+            overhead_items.append(((a, b), b_first))
+
+    clusters = cluster_similar(overhead_items, rel_tol=similarity)
+    levels = [
+        OverheadLevel(
+            bandwidth=c.value,
+            pairs=sorted(c.members),  # type: ignore[arg-type]
+            groups=groups_from_pairs(list(c.members)),  # type: ignore[arg-type]
+        )
+        for c in clusters
+    ]
+
+    scalability = [
+        memory_scalability(backend, level.example_group) if level.example_group else []
+        for level in levels
+    ]
+    return MemoryOverheadResult(
+        reference=ref,
+        levels=levels,
+        pair_bandwidths=pair_bw,
+        scalability=scalability,
+    )
+
+
+def memory_scalability(backend: Backend, group: Sequence[int]) -> list[float]:
+    """Effective bandwidth of ``group[0]`` as group members activate.
+
+    Entry k (0-based) is the first core's copy bandwidth with cores
+    ``group[0..k]`` streaming concurrently — one line of Fig. 9(b).
+    The paper's observation that one group per overhead level suffices
+    (all groups of a level behave alike) is what makes this cheap.
+    """
+    if not group:
+        raise MeasurementError("scalability needs a non-empty group")
+    curve: list[float] = []
+    for k in range(1, len(group) + 1):
+        bw = backend.copy_bandwidth(list(group[:k]))
+        curve.append(bw[group[0]])
+    return curve

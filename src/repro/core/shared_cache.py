@@ -1,0 +1,132 @@
+"""Shared-cache topology detection (paper Fig. 5).
+
+For each detected cache level of size CS, run mcalibrator on one core
+with an array of ``(2/3) * CS`` (a little over half the cache) as the
+reference, then on every pair of cores simultaneously with one such
+array each.  Two arrays do not fit together, so cores sharing the cache
+keep evicting each other: a cycles ratio above 2 versus the reference
+marks the pair as sharing that level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..backends.base import Backend
+from ..errors import MeasurementError
+from ..topology.machine import CorePair, all_pairs
+from .mcalibrator import STRIDE
+
+#: The Fig. 5 decision threshold on ``c / ref``.
+RATIO_THRESHOLD: float = 2.0
+
+
+@dataclass
+class SharedCacheResult:
+    """Per-level shared-cache pairs plus the measured ratios."""
+
+    #: Cache sizes probed, L1 first (input CS array of Fig. 5).
+    cache_sizes: list[int]
+    #: Psc of Fig. 5: for each level, the pairs whose ratio exceeded 2.
+    shared_pairs: list[list[CorePair]]
+    #: All measured ratios, for diagnostics and the Fig. 8 plots.
+    ratios: list[dict[CorePair, float]] = field(default_factory=list)
+    #: Reference cycles per level.
+    references: list[float] = field(default_factory=list)
+
+    def pairs_with(self, core: int, level: int) -> list[CorePair]:
+        """Pairs involving ``core`` sharing cache level ``level`` (1-based)."""
+        return [p for p in self.shared_pairs[level - 1] if core in p]
+
+    def sharing_group(self, core: int, level: int) -> list[int]:
+        """All cores found to share level ``level`` with ``core``."""
+        group = {core}
+        for a, b in self.pairs_with(core, level):
+            group.update((a, b))
+        return sorted(group)
+
+
+def detect_shared_caches(
+    backend: Backend,
+    cache_sizes: Sequence[int],
+    cores: Sequence[int] | None = None,
+    stride: int = STRIDE,
+    ratio_threshold: float = RATIO_THRESHOLD,
+    reference_core: int = 0,
+    samples: int = 3,
+) -> SharedCacheResult:
+    """Run the Fig. 5 algorithm.
+
+    Parameters
+    ----------
+    backend:
+        Measurement backend.
+    cache_sizes:
+        The CS array from cache-size detection, L1 first.
+    cores:
+        Cores to test pairwise (default: every core of the backend;
+        the paper tests one node since caches never span nodes).
+    samples:
+        Fresh allocations averaged per measurement.  On a physically
+        indexed cache the conflict miss rate at ``(2/3)*CS`` depends on
+        the random page placement, so single-allocation ratios have
+        heavy tails that can cross the threshold spuriously.
+    """
+    if not cache_sizes:
+        raise MeasurementError("need at least one cache level")
+    if cores is None:
+        cores = list(range(backend.n_cores))
+    if len(cores) < 2:
+        # A unicore machine shares nothing; keep the shape consistent.
+        return SharedCacheResult(
+            cache_sizes=list(cache_sizes),
+            shared_pairs=[[] for _ in cache_sizes],
+            ratios=[{} for _ in cache_sizes],
+            references=[float("nan") for _ in cache_sizes],
+        )
+
+    shared_pairs: list[list[CorePair]] = []
+    ratios: list[dict[CorePair, float]] = []
+    references: list[float] = []
+    pairs = all_pairs(list(cores))
+    for cache_size in cache_sizes:
+        array_bytes = (2 * cache_size) // 3
+        ref = float(
+            np.mean(
+                [
+                    backend.traversal_cycles([(reference_core, array_bytes)], stride)[
+                        reference_core
+                    ]
+                    for _ in range(samples)
+                ]
+            )
+        )
+        level_ratios: dict[CorePair, float] = {}
+        level_shared: list[CorePair] = []
+        for a, b in pairs:
+            observations = []
+            for _ in range(samples):
+                cycles = backend.traversal_cycles(
+                    [(a, array_bytes), (b, array_bytes)], stride
+                )
+                # "Cycles obtained from mcalibrator run in parallel on
+                # the cores of the pair": the pair's cost is what either
+                # core experiences; take the mean of the two.
+                observations.append((cycles[a] + cycles[b]) / 2.0)
+            c = float(np.mean(observations))
+            ratio = c / ref
+            level_ratios[(a, b)] = ratio
+            if ratio > ratio_threshold:
+                level_shared.append((a, b))
+        shared_pairs.append(level_shared)
+        ratios.append(level_ratios)
+        references.append(ref)
+    return SharedCacheResult(
+        cache_sizes=list(cache_sizes),
+        shared_pairs=shared_pairs,
+        ratios=ratios,
+        references=references,
+    )

@@ -1,0 +1,198 @@
+"""Suite orchestration: run all four Servet benchmarks in order.
+
+The order matters, as in the real suite: cache sizes feed the
+shared-cache benchmark (array sizing) and the communication benchmark
+(probe message size = L1 size).  Each phase's measurement cost is
+accounted both in virtual seconds (the simulated machine's clock —
+comparable to the paper's Table I) and in wall seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from ..backends.base import Backend
+from .cache_size import detect_caches
+from .clustering import groups_from_pairs
+from .comm_costs import run_comm_costs
+from .memory_overhead import characterize_memory_overhead
+from .report import (
+    CacheLevelReport,
+    CommLayerReport,
+    MemoryLevelReport,
+    ServetReport,
+)
+from .shared_cache import detect_shared_caches
+from .tlb import detect_tlb_entries
+
+#: Canonical phase names (Table I rows).
+PHASES: tuple[str, ...] = (
+    "cache_size",
+    "shared_caches",
+    "memory_overhead",
+    "communication_costs",
+)
+
+
+@dataclass
+class SuiteTimings:
+    """Per-phase (virtual seconds, wall seconds)."""
+
+    phases: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def record(self, name: str, virtual: float, wall: float) -> None:
+        self.phases[name] = (virtual, wall)
+
+    @property
+    def total(self) -> tuple[float, float]:
+        virtual = sum(v for v, _ in self.phases.values())
+        wall = sum(w for _, w in self.phases.values())
+        return virtual, wall
+
+
+class ServetSuite:
+    """Run the full benchmark suite against a backend.
+
+    Parameters
+    ----------
+    backend:
+        Measurement backend (simulated or native).
+    node_cores:
+        Cores used by the single-node benchmarks (cache sizes, shared
+        caches, memory overhead).  Defaults to the first node's cores
+        when the backend exposes a cluster, else all cores.
+    comm_cores:
+        Cores used by the communication benchmark (the paper uses two
+        Finis Terrae nodes, i.e. 32 cores, to see every layer).
+        Defaults to all cores.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        node_cores: Sequence[int] | None = None,
+        comm_cores: Sequence[int] | None = None,
+        probe_tlb: bool = True,
+    ) -> None:
+        self.backend = backend
+        self.probe_tlb = probe_tlb
+        if node_cores is None:
+            cluster = getattr(backend, "cluster", None)
+            if cluster is not None and cluster.n_nodes > 1:
+                node_cores = list(range(cluster.node.n_cores))
+            else:
+                node_cores = list(range(backend.n_cores))
+        self.node_cores = list(node_cores)
+        self.comm_cores = (
+            list(comm_cores) if comm_cores is not None else list(range(backend.n_cores))
+        )
+        self.timings = SuiteTimings()
+
+    def run(self) -> ServetReport:
+        """Execute all four phases and assemble the report."""
+        backend = self.backend
+        report = ServetReport(
+            system=backend.name,
+            n_cores=backend.n_cores,
+            page_size=backend.page_size,
+        )
+
+        # Phase 1: cache sizes (Fig. 4 pipeline).
+        detection, _ = self._timed(
+            "cache_size", lambda: detect_caches(backend, core=self.node_cores[0])
+        )
+        cache_sizes = detection.sizes
+
+        # Phase 2: shared caches (Fig. 5).
+        shared, _ = self._timed(
+            "shared_caches",
+            lambda: detect_shared_caches(
+                backend,
+                cache_sizes,
+                cores=self.node_cores,
+                reference_core=self.node_cores[0],
+            ),
+        )
+        for est, pairs in zip(detection.levels, shared.shared_pairs):
+            report.caches.append(
+                CacheLevelReport(
+                    level=est.level,
+                    size=est.size,
+                    method=est.method,
+                    shared_pairs=pairs,
+                    sharing_groups=groups_from_pairs(pairs),
+                    ways=(
+                        est.probabilistic.associativity
+                        if est.probabilistic is not None
+                        else None
+                    ),
+                )
+            )
+
+        # Extension phase: TLB entry count (cheap; see repro.core.tlb).
+        if self.probe_tlb:
+            tlb, _ = self._timed(
+                "tlb_detection",
+                lambda: detect_tlb_entries(
+                    backend, cache_sizes, core=self.node_cores[0]
+                ),
+            )
+            report.tlb_entries = tlb.entries
+
+        # Phase 3: memory-access overhead (Fig. 6 + scalability).
+        memory, _ = self._timed(
+            "memory_overhead",
+            lambda: characterize_memory_overhead(
+                backend,
+                cores=self.node_cores,
+                reference_core=self.node_cores[0],
+            ),
+        )
+        report.memory_reference = memory.reference
+        for level, curve in zip(memory.levels, memory.scalability):
+            report.memory_levels.append(
+                MemoryLevelReport(
+                    bandwidth=level.bandwidth,
+                    pairs=level.pairs,
+                    groups=level.groups,
+                    scalability=curve,
+                )
+            )
+
+        # Phase 4: communication costs (Fig. 7 + Figs. 10b-d).
+        if len(self.comm_cores) < 2:
+            # A unicore system has no communication layers to measure.
+            report.comm_probe_size = cache_sizes[0]
+            self.timings.record("communication_costs", 0.0, 0.0)
+            report.timings = dict(self.timings.phases)
+            return report
+        comm, _ = self._timed(
+            "communication_costs",
+            lambda: run_comm_costs(backend, cache_sizes[0], cores=self.comm_cores),
+        )
+        report.comm_probe_size = comm.probe_size
+        for layer in comm.layers:
+            report.comm_layers.append(
+                CommLayerReport(
+                    index=layer.index,
+                    latency=layer.latency,
+                    pairs=layer.pairs,
+                    characterization=comm.characterization[layer.index],
+                    scalability=comm.scalability[layer.index],
+                )
+            )
+
+        report.timings = dict(self.timings.phases)
+        return report
+
+    def _timed(self, name: str, fn):
+        """Run ``fn`` recording wall time and the backend's virtual time."""
+        self.backend.take_virtual_time()  # reset any prior accumulation
+        wall_start = time.perf_counter()
+        result = fn()
+        wall = time.perf_counter() - wall_start
+        virtual = self.backend.take_virtual_time()
+        self.timings.record(name, virtual, wall)
+        return result, (virtual, wall)

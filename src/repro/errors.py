@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A machine/topology/model description is inconsistent.
+
+    Examples: a cache whose size is not ``line_size * ways * sets``,
+    a core id referenced by two processors, a bandwidth domain with
+    non-positive capacity.
+    """
+
+
+class MeasurementError(ReproError):
+    """A benchmark measurement could not be carried out.
+
+    Raised by backends, e.g. when asked to traverse an array smaller
+    than one stride, or to time communication between a core and itself.
+    """
+
+
+class DetectionError(ReproError):
+    """A Servet detection algorithm could not produce an estimate.
+
+    Raised e.g. when the mcalibrator curve contains no gradient peak at
+    all (no cache visible in the probed range).
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state.
+
+    Examples: deadlock (all processes blocked with no pending events),
+    a receive that can never be matched, or time moving backwards.
+    """

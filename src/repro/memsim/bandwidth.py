@@ -1,0 +1,106 @@
+"""Max-min fair bandwidth allocation over a domain tree.
+
+Concurrent memory accesses share buses, cell controllers and the node
+memory system.  The substrate models each as a capacity constraint in a
+tree (:class:`repro.topology.machine.BandwidthDomain`) and splits
+bandwidth by *progressive filling* (max-min fairness): every active
+core's rate grows uniformly until a constraint saturates; cores behind a
+saturated constraint freeze; the rest keep growing.
+
+This reproduces the Finis Terrae structure of Fig. 9: a bus-sharing pair
+saturates the bus first (big drop), a same-cell pair saturates the cell
+controller (a ~25 % drop), and a cross-cell pair shares nothing and
+keeps the isolated-core bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..errors import ConfigurationError
+from ..topology.machine import BandwidthDomain
+
+_EPS = 1e-9
+
+
+def allocate_bandwidth(
+    root: BandwidthDomain,
+    demands: Mapping[int, float],
+) -> dict[int, float]:
+    """Max-min fair allocation of ``demands`` under the domain tree.
+
+    Parameters
+    ----------
+    root:
+        Root of the bandwidth-domain tree.
+    demands:
+        Per-core demanded bandwidth (bytes/s); cores absent from the
+        mapping are inactive.
+
+    Returns
+    -------
+    dict mapping each demanding core to its allocated bandwidth.  The
+    allocation satisfies every domain capacity and is max-min fair:
+    no core's rate can grow without shrinking an equal-or-slower core.
+    """
+    for core, demand in demands.items():
+        if demand <= 0:
+            raise ConfigurationError(f"core {core}: demand must be positive")
+        if core not in root.cores:
+            raise ConfigurationError(f"core {core} not covered by domain tree")
+
+    domains = list(root.walk())
+    members: list[list[int]] = [
+        [c for c in demands if c in d.cores] for d in domains
+    ]
+    alloc = {core: 0.0 for core in demands}
+    frozen: set[int] = set()
+
+    while len(frozen) < len(alloc):
+        # Largest uniform increment every unfrozen core can take before
+        # some constraint (domain capacity or its own demand) binds.
+        best = float("inf")
+        for d, mem in zip(domains, members):
+            unfrozen = [c for c in mem if c not in frozen]
+            if not unfrozen:
+                continue
+            slack = d.capacity - sum(alloc[c] for c in mem)
+            best = min(best, slack / len(unfrozen))
+        for core in alloc:
+            if core not in frozen:
+                best = min(best, demands[core] - alloc[core])
+        if best == float("inf"):
+            break
+        best = max(best, 0.0)
+        for core in alloc:
+            if core not in frozen:
+                alloc[core] += best
+        # Freeze cores behind any now-saturated constraint.
+        for d, mem in zip(domains, members):
+            slack = d.capacity - sum(alloc[c] for c in mem)
+            if slack <= _EPS * max(d.capacity, 1.0):
+                frozen.update(c for c in mem if c not in frozen)
+        for core in alloc:
+            if core not in frozen and demands[core] - alloc[core] <= _EPS * demands[core]:
+                frozen.add(core)
+    return alloc
+
+
+def effective_bandwidth_curve(
+    root: BandwidthDomain,
+    cores: Sequence[int],
+    demand: float,
+) -> list[float]:
+    """Per-core bandwidth of ``cores[0]`` as group members activate.
+
+    Entry ``k`` (0-based) is the bandwidth core ``cores[0]`` achieves
+    when cores ``cores[0..k]`` access memory concurrently — the curves
+    of Fig. 9(b).
+    """
+    if not cores:
+        raise ConfigurationError("need at least one core")
+    curve: list[float] = []
+    for k in range(1, len(cores) + 1):
+        alloc = allocate_bandwidth(root, {c: demand for c in cores[:k]})
+        curve.append(alloc[cores[0]])
+    return curve

@@ -1,0 +1,218 @@
+"""Explicit set-associative cache simulation (reference model).
+
+The fast path of the substrate is the analytic steady-state engine in
+:mod:`repro.memsim.traversal`.  This module provides the slow but
+obviously-correct counterpart: an explicit LRU set-associative cache and
+a multi-level, multi-core trace simulator.  Property-based tests verify
+that the analytic engine agrees with this one on the cyclic traversal
+workloads the Servet benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+from ..errors import ConfigurationError
+from ..topology.cache import CacheSpec, Indexing
+from ..topology.machine import Machine
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache over abstract line keys.
+
+    Lines are identified by hashable keys (we use ``(core, line_number)``
+    so distinct processes never alias); the set index is supplied by the
+    caller because it depends on the indexing scheme.
+    """
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        if num_sets <= 0 or ways <= 0:
+            raise ConfigurationError("num_sets and ways must be positive")
+        self.num_sets = num_sets
+        self.ways = ways
+        # Per set: list of keys, most recently used last.
+        self._sets: list[list[object]] = [[] for _ in range(num_sets)]
+
+    def access(self, set_index: int, key: object) -> bool:
+        """Touch ``key`` in ``set_index``; return True on hit.
+
+        On a miss the LRU way of the set is evicted if the set is full.
+        """
+        lines = self._sets[set_index % self.num_sets]
+        try:
+            lines.remove(key)
+            hit = True
+        except ValueError:
+            hit = False
+            if len(lines) >= self.ways:
+                lines.pop(0)
+        lines.append(key)
+        return hit
+
+    def contains(self, set_index: int, key: object) -> bool:
+        """Non-mutating presence check."""
+        return key in self._sets[set_index % self.num_sets]
+
+    def occupancy(self, set_index: int) -> int:
+        """Number of valid lines currently in the set."""
+        return len(self._sets[set_index % self.num_sets])
+
+    def flush(self) -> None:
+        """Invalidate the entire cache."""
+        for lines in self._sets:
+            lines.clear()
+
+
+@dataclass(frozen=True)
+class TraceAccess:
+    """One memory access of a trace.
+
+    ``vline``/``pline`` are the virtual and physical line numbers; the
+    appropriate one is selected per level by its indexing scheme.
+    """
+
+    core: int
+    vline: int
+    pline: int
+
+
+@dataclass
+class LevelStats:
+    """Hit/miss counters for one cache level during a simulation run."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class SimOutcome:
+    """Result of :meth:`MultiLevelSimulator.run`."""
+
+    per_level: list[LevelStats]
+    cycles: dict[int, float]          # total cycles charged per core
+    accesses: dict[int, int]          # accesses issued per core
+    cycles_per_access: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.cycles_per_access = {
+            core: self.cycles[core] / n if n else 0.0
+            for core, n in self.accesses.items()
+        }
+
+
+class MultiLevelSimulator:
+    """Explicit multi-level, multi-core cache simulation for a machine.
+
+    Builds one :class:`SetAssociativeCache` per physical cache instance
+    of the machine and replays interleaved access traces.  An access
+    probes L1, then L2, ... until it hits; each probed level charges its
+    latency; a full miss charges the machine's memory latency.  Inclusive
+    fill: a miss installs the line at every probed level.
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._caches: list[list[SetAssociativeCache]] = []
+        for level in machine.levels:
+            spec = level.spec
+            self._caches.append(
+                [SetAssociativeCache(spec.num_sets, spec.ways) for _ in level.groups]
+            )
+
+    def _cache_for(self, level_idx: int, core: int) -> SetAssociativeCache:
+        level = self.machine.levels[level_idx]
+        return self._caches[level_idx][level.instance_index(core)]
+
+    @staticmethod
+    def _set_index(spec: CacheSpec, access: TraceAccess) -> int:
+        line = access.vline if spec.indexing is Indexing.VIRTUAL else access.pline
+        return int(line) % spec.num_sets
+
+    def access(self, access: TraceAccess) -> tuple[float, int | None]:
+        """Issue one access; return ``(cycles, hit_level)``.
+
+        ``hit_level`` is the 1-based level that served the access, or
+        ``None`` for main memory.
+        """
+        cycles = 0.0
+        key = (access.core, access.vline)
+        missed_levels: list[tuple[SetAssociativeCache, int]] = []
+        hit_level: int | None = None
+        for level_idx, level in enumerate(self.machine.levels):
+            spec = level.spec
+            cache = self._cache_for(level_idx, access.core)
+            set_index = self._set_index(spec, access)
+            cycles += spec.latency
+            if cache.access(set_index, key):
+                hit_level = spec.level
+                break
+            missed_levels.append((cache, set_index))
+        else:
+            cycles += self.machine.mem_latency
+        # (lines were installed by ``access`` on miss already; nothing
+        # further to do for the inclusive-fill policy)
+        return cycles, hit_level
+
+    def run(
+        self,
+        trace: Iterable[TraceAccess],
+        *,
+        rounds: int = 1,
+        measure_last_round_only: bool = False,
+    ) -> SimOutcome:
+        """Replay ``trace`` ``rounds`` times and gather statistics.
+
+        With ``measure_last_round_only`` the first ``rounds - 1``
+        replays warm the caches and only the final replay is measured —
+        this is the steady state the analytic engine predicts.
+        """
+        trace = list(trace)
+        stats = [LevelStats() for _ in self.machine.levels]
+        cycles: dict[int, float] = {}
+        counts: dict[int, int] = {}
+        for round_idx in range(rounds):
+            measuring = not measure_last_round_only or round_idx == rounds - 1
+            for access in trace:
+                c, hit_level = self.access(access)
+                if not measuring:
+                    continue
+                counts[access.core] = counts.get(access.core, 0) + 1
+                cycles[access.core] = cycles.get(access.core, 0.0) + c
+                for level in self.machine.levels:
+                    num = level.spec.level
+                    if hit_level is not None and num > hit_level:
+                        break
+                    stats[num - 1].accesses += 1
+                    if hit_level == num:
+                        stats[num - 1].hits += 1
+        return SimOutcome(per_level=stats, cycles=cycles, accesses=counts)
+
+
+def interleave_round_robin(
+    streams: Sequence[Sequence[TraceAccess]],
+) -> list[TraceAccess]:
+    """Merge per-core access streams one access at a time.
+
+    This is the concurrency model of the shared-cache benchmark: two
+    cores traversing their arrays in lockstep.  Streams of unequal
+    length keep cycling through the shorter ones until the longest is
+    exhausted, which preserves the "simultaneous" pressure of Fig. 5.
+    """
+    if not streams:
+        return []
+    longest = max(len(s) for s in streams)
+    merged: list[TraceAccess] = []
+    for i in range(longest):
+        for stream in streams:
+            if stream:
+                merged.append(stream[i % len(stream)])
+    return merged

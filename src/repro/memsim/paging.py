@@ -1,0 +1,155 @@
+"""Virtual-to-physical page placement policies.
+
+Physically indexed caches (L2/L3) derive their set index from the
+*physical* address, so the OS page-placement policy decides which cache
+sets a contiguous virtual array can use.  Servet's probabilistic cache
+size algorithm exists precisely because Linux places pages (from the
+cache's perspective) randomly; this module implements that policy plus
+the two alternatives the paper discusses:
+
+- :class:`RandomPaging` — uniformly random distinct physical pages
+  (Linux-like; produces the binomial conflict statistics of Fig. 3).
+- :class:`ColoredPaging` — physical page color equals virtual page
+  color (Solaris-style page coloring; makes physically indexed caches
+  behave like virtually indexed ones, the "single array size peak" case
+  of Fig. 4).
+- :class:`ContiguousPaging` — physically contiguous allocation (the
+  superpage trick of Yotov et al. that the paper criticizes as
+  non-portable).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from ..units import is_power_of_two
+
+
+class PagePolicy(abc.ABC):
+    """Strategy mapping virtual page numbers to physical page numbers."""
+
+    #: Total number of physical pages available for placement.
+    def __init__(self, physical_pages: int = 1 << 20) -> None:
+        if physical_pages <= 0:
+            raise ConfigurationError("physical_pages must be positive")
+        self.physical_pages = physical_pages
+
+    @abc.abstractmethod
+    def place(self, n_pages: int, rng: np.random.Generator) -> np.ndarray:
+        """Physical page numbers for virtual pages ``0..n_pages-1``.
+
+        The result must contain ``n_pages`` *distinct* physical pages
+        (an OS never double-maps a private anonymous region).
+        """
+
+    def _check(self, n_pages: int) -> None:
+        if n_pages <= 0:
+            raise SimulationError("an allocation needs at least one page")
+        if n_pages > self.physical_pages:
+            raise SimulationError(
+                f"cannot place {n_pages} pages in a machine with "
+                f"{self.physical_pages} physical pages"
+            )
+
+
+class RandomPaging(PagePolicy):
+    """Uniformly random distinct physical pages (no page coloring)."""
+
+    def place(self, n_pages: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n_pages)
+        # Floyd-like sampling via choice without replacement; for the
+        # page counts used here (<= a few thousand out of ~1M) this is
+        # both uniform and fast.
+        return rng.choice(self.physical_pages, size=n_pages, replace=False)
+
+
+class ColoredPaging(PagePolicy):
+    """Page coloring: physical color == virtual color.
+
+    ``n_colors`` is the number of page colors the OS maintains (in
+    reality derived from the largest cache).  Within a color, page
+    frames are chosen randomly; across colors, the virtual color is
+    preserved, which keeps a contiguous virtual array conflict-free in a
+    physically indexed cache of at most ``n_colors`` page sets per way.
+    """
+
+    def __init__(self, n_colors: int, physical_pages: int = 1 << 20) -> None:
+        super().__init__(physical_pages)
+        if n_colors <= 0 or physical_pages % n_colors != 0:
+            raise ConfigurationError(
+                f"n_colors={n_colors} must be positive and divide physical_pages"
+            )
+        self.n_colors = n_colors
+
+    def place(self, n_pages: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n_pages)
+        frames_per_color = self.physical_pages // self.n_colors
+        vpages = np.arange(n_pages)
+        colors = vpages % self.n_colors
+        # Choose a distinct random frame index (within the color) per page.
+        needed = int(np.ceil(n_pages / self.n_colors))
+        if needed > frames_per_color:
+            raise SimulationError("not enough frames of each color")
+        out = np.empty(n_pages, dtype=np.int64)
+        for color in np.unique(colors):
+            mask = colors == color
+            frames = rng.choice(frames_per_color, size=int(mask.sum()), replace=False)
+            out[mask] = frames * self.n_colors + color
+        return out
+
+
+class ContiguousPaging(PagePolicy):
+    """Physically contiguous placement starting at a random base frame."""
+
+    def place(self, n_pages: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n_pages)
+        base = int(rng.integers(0, self.physical_pages - n_pages + 1))
+        return base + np.arange(n_pages)
+
+
+class AddressSpace:
+    """One process's view of memory: page size + placement for an array.
+
+    Translates virtual byte addresses of a single contiguous allocation
+    (based at virtual address 0) to physical line numbers.
+    """
+
+    def __init__(
+        self,
+        page_size: int,
+        policy: PagePolicy,
+        array_bytes: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if not is_power_of_two(page_size):
+            raise ConfigurationError(f"page size {page_size} not a power of two")
+        if array_bytes <= 0:
+            raise ConfigurationError("array_bytes must be positive")
+        self.page_size = page_size
+        self.array_bytes = array_bytes
+        n_pages = -(-array_bytes // page_size)  # ceil
+        self.page_table = np.asarray(policy.place(n_pages, rng), dtype=np.int64)
+        if len(np.unique(self.page_table)) != n_pages:
+            raise SimulationError("page policy produced duplicate physical pages")
+
+    @property
+    def n_pages(self) -> int:
+        """Number of pages backing the allocation."""
+        return len(self.page_table)
+
+    def physical_lines(self, vaddrs: np.ndarray, line_size: int) -> np.ndarray:
+        """Physical line numbers for virtual byte addresses ``vaddrs``."""
+        vaddrs = np.asarray(vaddrs, dtype=np.int64)
+        if vaddrs.size and (vaddrs.min() < 0 or vaddrs.max() >= self.array_bytes):
+            raise SimulationError("virtual address outside the allocation")
+        vpage = vaddrs // self.page_size
+        offset = vaddrs % self.page_size
+        lines_per_page = self.page_size // line_size
+        return self.page_table[vpage] * lines_per_page + offset // line_size
+
+    def virtual_lines(self, vaddrs: np.ndarray, line_size: int) -> np.ndarray:
+        """Virtual line numbers (used by virtually indexed caches)."""
+        return np.asarray(vaddrs, dtype=np.int64) // line_size

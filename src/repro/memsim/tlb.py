@@ -1,0 +1,61 @@
+"""TLB model (extension).
+
+The cache-measurement methodology Servet builds on (Saavedra & Smith,
+the paper's ref. [15]) measures the TLB alongside the caches.  The
+paper itself leaves the TLB alone — its 1 KB stride touches four lines
+per page, so TLB pressure only appears for arrays far beyond the caches
+— but the substrate supports it as an extension: machines may carry a
+:class:`TLBSpec`, the traversal engine charges page-walk penalties, and
+:mod:`repro.core.tlb` detects the entry count the same way mcalibrator
+detects cache sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import is_power_of_two
+
+
+@dataclass(frozen=True)
+class TLBSpec:
+    """A translation lookaside buffer.
+
+    Parameters
+    ----------
+    entries:
+        Total number of page translations held.
+    ways:
+        Associativity; defaults to fully associative (``ways == entries``),
+        the common design for small TLBs.
+    walk_cycles:
+        Penalty of a page-table walk on a TLB miss.
+    """
+
+    entries: int
+    ways: int | None = None
+    walk_cycles: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ConfigurationError("TLB needs a positive entry count")
+        ways = self.entries if self.ways is None else self.ways
+        if ways <= 0 or self.entries % ways != 0:
+            raise ConfigurationError(
+                f"TLB ways {ways} must divide entries {self.entries}"
+            )
+        if not is_power_of_two(self.entries // ways):
+            raise ConfigurationError("TLB set count must be a power of two")
+        if self.walk_cycles < 0:
+            raise ConfigurationError("walk_cycles must be non-negative")
+
+    @property
+    def effective_ways(self) -> int:
+        """Associativity with the fully-associative default resolved."""
+        return self.entries if self.ways is None else self.ways
+
+    @property
+    def num_sets(self) -> int:
+        """Number of TLB sets."""
+        return self.entries // self.effective_ways

@@ -1,0 +1,219 @@
+"""Analytic steady-state traversal engine.
+
+Servet's measurement workloads are *cyclic*: every traversal touches a
+fixed set of lines over and over in the same order.  Under LRU that has
+a crisp steady state:
+
+    A cache set holding at most `ways` distinct lines of the cycle hits
+    on every revisit; a set holding more thrashes and misses every time.
+
+(The classic LRU pathology: with a cyclic reference string of w > K
+distinct lines in one K-way set, the line needed next is always the one
+evicted longest ago.)  This lets the engine compute exact steady-state
+miss patterns with vectorized ``bincount`` passes — no per-access
+simulation — while remaining provably equal to the explicit simulator of
+:mod:`repro.memsim.cache` (see the property tests).
+
+Concurrency is modelled as lockstep interleaving (the paper runs the
+mcalibrator instances "in parallel" pinned to two cores): for a shared
+cache instance the per-set load is the union of the members' active
+lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..rng import ensure_rng, spawn
+from ..topology.cache import Indexing
+from ..topology.machine import Machine
+from .paging import AddressSpace, PagePolicy, RandomPaging
+from .prefetch import PrefetchModel
+
+
+def strided_addresses(array_bytes: int, stride: int) -> np.ndarray:
+    """Virtual byte addresses touched by an mcalibrator-style traversal.
+
+    One access per ``stride`` bytes starting at 0 — the access pattern
+    of the Fig. 1 inner loop (``j = j + A[j]`` with every ``A[j]`` equal
+    to the stride).
+    """
+    if stride <= 0:
+        raise MeasurementError(f"stride must be positive, got {stride}")
+    if array_bytes <= 0:
+        raise MeasurementError(f"array size must be positive, got {array_bytes}")
+    return np.arange(0, array_bytes, stride, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class Traversal:
+    """One core's traversal workload: an array and a stride."""
+
+    core: int
+    array_bytes: int
+    stride: int
+
+
+@dataclass
+class TraversalResult:
+    """Steady-state outcome of a (possibly concurrent) traversal run."""
+
+    #: Average cycles per access, per core.
+    cycles_per_access: dict[int, float]
+    #: Per core, fraction of its accesses that *missed* each level
+    #: (denominator = the core's total accesses, so values telescope).
+    miss_fraction: dict[int, list[float]]
+    #: Number of distinct accesses per revolution, per core.
+    n_accesses: dict[int, int]
+    #: Simulated wall time of one measured revolution, per core (seconds).
+    seconds_per_round: dict[int, float] = field(default_factory=dict)
+
+
+class TraversalEngine:
+    """Computes steady-state traversal costs on a machine model.
+
+    Parameters
+    ----------
+    machine:
+        The hardware model (cache levels, latencies, page size).
+    paging:
+        Page-placement policy; defaults to Linux-like random placement,
+        the case Servet's probabilistic algorithm targets.
+    prefetch:
+        Hardware prefetcher model (engages only for small strides).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        paging: PagePolicy | None = None,
+        prefetch: PrefetchModel | None = None,
+    ) -> None:
+        self.machine = machine
+        self.paging = paging if paging is not None else RandomPaging()
+        self.prefetch = prefetch if prefetch is not None else PrefetchModel()
+
+    def run(
+        self,
+        traversals: list[Traversal],
+        rng: np.random.Generator | int | None = None,
+    ) -> TraversalResult:
+        """Run the traversals concurrently and return steady-state costs."""
+        if not traversals:
+            raise MeasurementError("need at least one traversal")
+        cores = [t.core for t in traversals]
+        if len(set(cores)) != len(cores):
+            raise MeasurementError("one traversal per core at most")
+        for t in traversals:
+            if not (0 <= t.core < self.machine.n_cores):
+                raise MeasurementError(
+                    f"core {t.core} out of range for {self.machine.name}"
+                )
+        rng = ensure_rng(rng)
+        child_rngs = spawn(rng, len(traversals))
+
+        machine = self.machine
+        vlines: dict[int, np.ndarray] = {}
+        plines: dict[int, np.ndarray] = {}
+        active: dict[int, np.ndarray] = {}
+        cost: dict[int, np.ndarray] = {}
+        for t, crng in zip(traversals, child_rngs):
+            vaddrs = strided_addresses(t.array_bytes, t.stride)
+            space = AddressSpace(machine.page_size, self.paging, t.array_bytes, crng)
+            line_size = machine.levels[0].spec.line_size
+            vlines[t.core] = space.virtual_lines(vaddrs, line_size)
+            plines[t.core] = space.physical_lines(vaddrs, line_size)
+            active[t.core] = np.ones(len(vaddrs), dtype=bool)
+            cost[t.core] = np.zeros(len(vaddrs), dtype=np.float64)
+
+        miss_fraction: dict[int, list[float]] = {t.core: [] for t in traversals}
+
+        # A tracked stream (small stride) has its beyond-L1 miss
+        # latencies hidden by the prefetcher.
+        pf_factor = {
+            t.core: self.prefetch.miss_latency_factor(t.stride) for t in traversals
+        }
+
+        for level_idx, level in enumerate(machine.levels):
+            spec = level.spec
+            # Gather the active lines of every instance's members once.
+            for instance_idx, group in enumerate(level.groups):
+                members = [c for c in cores if c in group and active[c].any()]
+                if not members:
+                    continue
+                set_indices: dict[int, np.ndarray] = {}
+                for c in members:
+                    lines = vlines[c] if spec.indexing is Indexing.VIRTUAL else plines[c]
+                    set_indices[c] = (lines[active[c]] % spec.num_sets).astype(np.int64)
+                combined = np.concatenate([set_indices[c] for c in members])
+                load = np.bincount(combined, minlength=spec.num_sets)
+                overloaded = load > spec.ways
+                for c in members:
+                    idx = np.flatnonzero(active[c])
+                    latency = spec.latency * (pf_factor[c] if level_idx > 0 else 1.0)
+                    cost[c][idx] += latency
+                    missing = overloaded[set_indices[c]]
+                    # Lines in non-overloaded sets hit here and stop.
+                    still = idx[missing]
+                    new_active = np.zeros_like(active[c])
+                    new_active[still] = True
+                    active[c] = new_active
+            for t in traversals:
+                denom = len(vlines[t.core])
+                miss_fraction[t.core].append(float(active[t.core].sum()) / denom)
+
+        for t in traversals:
+            idx = np.flatnonzero(active[t.core])
+            cost[t.core][idx] += machine.mem_latency * pf_factor[t.core]
+
+        tlb_extra = {
+            t.core: self._tlb_cycles_per_access(t) for t in traversals
+        }
+
+        cycles = {
+            t.core: float(cost[t.core].mean()) + tlb_extra[t.core]
+            for t in traversals
+        }
+        n_accesses = {t.core: int(len(vlines[t.core])) for t in traversals}
+        seconds = {
+            c: cycles[c] * n_accesses[c] / machine.clock_hz for c in cycles
+        }
+        return TraversalResult(
+            cycles_per_access=cycles,
+            miss_fraction=miss_fraction,
+            n_accesses=n_accesses,
+            seconds_per_round=seconds,
+        )
+
+    def _tlb_cycles_per_access(self, traversal: Traversal) -> float:
+        """Average page-walk cycles per access for one cyclic traversal.
+
+        TLBs are per-core and indexed by virtual page, so the analysis
+        needs no page placement: group the accesses by virtual page and
+        apply the cyclic-LRU rule to the TLB sets.  Accesses to one page
+        are contiguous in address order, so an overloaded page costs one
+        walk per revolution regardless of how many accesses it gets.
+        """
+        tlb = self.machine.tlb
+        if tlb is None:
+            return 0.0
+        vaddrs = strided_addresses(traversal.array_bytes, traversal.stride)
+        vpages = np.unique(vaddrs // self.machine.page_size)
+        sets = vpages % tlb.num_sets
+        load = np.bincount(sets.astype(np.int64), minlength=tlb.num_sets)
+        overloaded_pages = int(load[load > tlb.effective_ways].sum())
+        return overloaded_pages * tlb.walk_cycles / len(vaddrs)
+
+    def single(
+        self,
+        array_bytes: int,
+        stride: int,
+        core: int = 0,
+        rng: np.random.Generator | int | None = None,
+    ) -> float:
+        """Average cycles/access for one isolated core (convenience)."""
+        result = self.run([Traversal(core, array_bytes, stride)], rng=rng)
+        return result.cycles_per_access[core]

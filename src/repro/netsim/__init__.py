@@ -1,0 +1,15 @@
+"""Communication-performance models for the simulated cluster.
+
+Models the communication middleware of a multicore cluster the way the
+paper characterizes it: per *layer* (pairs of cores with similar costs —
+shared-cache, intra-node shared memory, inter-node network), with a
+piecewise-linear latency model including an eager/rendezvous protocol
+switch, large-message bandwidth caps once buffers spill out of cache,
+and a concurrency contention factor per layer.
+"""
+
+from .model import LayerParams, CommConfig
+from .presets import default_comm_config
+from .layers import true_layers
+
+__all__ = ["LayerParams", "CommConfig", "default_comm_config", "true_layers"]

@@ -1,0 +1,56 @@
+"""Ground-truth communication layers of a cluster.
+
+Given a cluster and its communication config, compute the *true*
+partition of core pairs into layers (pairs whose parameters are the same
+object or compare equal).  The Servet benchmark of Fig. 7 must recover
+this partition from latency measurements alone; tests compare its
+output against this module.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+from ..topology.machine import Cluster, CorePair, all_pairs
+from .model import CommConfig, LayerParams
+
+
+def true_layers(
+    cluster: Cluster,
+    config: CommConfig,
+    cores: Sequence[int] | None = None,
+) -> dict[str, list[CorePair]]:
+    """Partition core pairs by the :class:`LayerParams` that serve them.
+
+    Layers with identical cost parameters are merged under a combined
+    ``"a|b"`` key, because no measurement can distinguish them — this is
+    exactly what happens on Finis Terrae, where every intra-node pair
+    behaves the same.
+    """
+    if cores is None:
+        cores = list(cluster.cores)
+    by_params: dict[tuple, list[CorePair]] = defaultdict(list)
+    names: dict[tuple, set[str]] = defaultdict(set)
+    for a, b in all_pairs(list(cores)):
+        params = config.params_for_pair(cluster, a, b)
+        key = _cost_key(params)
+        by_params[key].append((a, b))
+        names[key].add(params.name)
+    return {
+        "|".join(sorted(names[key])): sorted(pairs)
+        for key, pairs in by_params.items()
+    }
+
+
+def _cost_key(params: LayerParams) -> tuple:
+    """Cost-relevant fields only (the name must not split layers)."""
+    return (
+        params.base_latency,
+        params.bandwidth,
+        params.eager_threshold,
+        params.rendezvous_latency,
+        params.cache_capacity,
+        params.mem_bandwidth,
+        params.contention_factor,
+    )

@@ -1,0 +1,140 @@
+"""Point-to-point cost model.
+
+The paper rejects the plain Hockney and LogP models because real
+middleware switches protocols with message size and behaves differently
+per communication layer.  Our substrate therefore implements, for each
+layer, the richer model Servet assumes it will encounter:
+
+``T(s) = base + s / bw_eff(s)  [+ rendezvous handshake if s > eager]``
+
+where ``bw_eff`` drops from the in-cache transfer bandwidth to a memory
+bandwidth once the message no longer fits the layer's shared cache, and
+``N`` concurrent transfers in the layer inflate the transfer term by
+``1 + gamma * (N - 1)`` (serialization on the shared medium).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from ..errors import ConfigurationError, MeasurementError
+from ..topology.machine import Cluster
+
+
+@dataclass(frozen=True)
+class LayerParams:
+    """Cost parameters of one communication layer.
+
+    Parameters
+    ----------
+    name:
+        Layer identifier (a relationship key like ``"inter-node"``).
+    base_latency:
+        Zero-byte one-way latency in seconds.
+    bandwidth:
+        Asymptotic transfer bandwidth (bytes/s) while messages fit the
+        layer's fast path (shared cache for intra-processor layers).
+    eager_threshold:
+        Message size (bytes) above which the middleware switches from
+        the eager to the rendezvous protocol.
+    rendezvous_latency:
+        Extra handshake latency (seconds) paid by rendezvous messages.
+    cache_capacity:
+        Message size above which transfers spill to memory; ``None``
+        disables the spill (the layer is memory-bound already).
+    mem_bandwidth:
+        Transfer bandwidth once spilled (must be set iff
+        ``cache_capacity`` is set).
+    contention_factor:
+        ``gamma`` in the concurrency inflation ``1 + gamma * (N - 1)``.
+    """
+
+    name: str
+    base_latency: float
+    bandwidth: float
+    eager_threshold: int = 64 * 1024
+    rendezvous_latency: float = 0.0
+    cache_capacity: int | None = None
+    mem_bandwidth: float | None = None
+    contention_factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_latency < 0 or self.bandwidth <= 0:
+            raise ConfigurationError(f"layer {self.name!r}: bad latency/bandwidth")
+        if (self.cache_capacity is None) != (self.mem_bandwidth is None):
+            raise ConfigurationError(
+                f"layer {self.name!r}: cache_capacity and mem_bandwidth "
+                "must be set together"
+            )
+        if self.mem_bandwidth is not None and self.mem_bandwidth <= 0:
+            raise ConfigurationError(f"layer {self.name!r}: bad mem_bandwidth")
+        if self.contention_factor < 0:
+            raise ConfigurationError(f"layer {self.name!r}: bad contention_factor")
+        if self.eager_threshold < 0 or self.rendezvous_latency < 0:
+            raise ConfigurationError(f"layer {self.name!r}: bad protocol params")
+
+    def effective_bandwidth(self, nbytes: int) -> float:
+        """Transfer bandwidth for a message of ``nbytes``."""
+        if (
+            self.cache_capacity is not None
+            and self.mem_bandwidth is not None
+            and nbytes > self.cache_capacity
+        ):
+            return self.mem_bandwidth
+        return self.bandwidth
+
+    def is_eager(self, nbytes: int) -> bool:
+        """True if a message of this size uses the eager protocol."""
+        return nbytes <= self.eager_threshold
+
+    def latency(self, nbytes: int, concurrency: int = 1) -> float:
+        """One-way time (seconds) for ``nbytes`` with ``concurrency``
+        simultaneous transfers in this layer (including this one)."""
+        if nbytes < 0:
+            raise MeasurementError("message size must be >= 0")
+        if concurrency < 1:
+            raise MeasurementError("concurrency must be >= 1")
+        transfer = nbytes / self.effective_bandwidth(nbytes)
+        transfer *= 1.0 + self.contention_factor * (concurrency - 1)
+        t = self.base_latency + transfer
+        if not self.is_eager(nbytes):
+            t += self.rendezvous_latency
+        return t
+
+    def point_to_point_bandwidth(self, nbytes: int) -> float:
+        """Achieved bandwidth ``nbytes / T(nbytes)`` (Fig. 10c/d metric)."""
+        if nbytes <= 0:
+            raise MeasurementError("bandwidth needs a positive message size")
+        return nbytes / self.latency(nbytes)
+
+
+class CommConfig:
+    """Maps pair relationships to :class:`LayerParams` for a cluster."""
+
+    def __init__(self, layers: Mapping[str, LayerParams]) -> None:
+        # An empty mapping is legal: a unicore machine has no pairs and
+        # therefore no layers; any lookup will still fail loudly.
+        self.layers = dict(layers)
+
+    def params_for_relationship(self, relationship: str) -> LayerParams:
+        """Parameters of the layer serving a given relationship key."""
+        try:
+            return self.layers[relationship]
+        except KeyError:
+            raise ConfigurationError(
+                f"no communication parameters for relationship {relationship!r}; "
+                f"configured: {sorted(self.layers)}"
+            ) from None
+
+    def params_for_pair(self, cluster: Cluster, a: int, b: int) -> LayerParams:
+        """Parameters governing communication between global cores a, b."""
+        return self.params_for_relationship(cluster.relationship(a, b))
+
+    def validate_against(self, cluster: Cluster) -> None:
+        """Raise if any occurring relationship lacks parameters."""
+        missing = cluster.relationships() - set(self.layers)
+        if missing:
+            raise ConfigurationError(
+                f"CommConfig for {cluster.name} missing layers: {sorted(missing)}"
+            )

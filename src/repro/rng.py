@@ -1,0 +1,37 @@
+"""Deterministic random-number handling.
+
+The probabilistic part of Servet's cache detection relies on the OS
+assigning *random* physical pages.  The simulator reproduces that with
+NumPy generators; this module provides the single place where seeds are
+normalized so every experiment is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default seed used by builders and benchmarks when none is given.
+DEFAULT_SEED: int = 0x5E27E7  # "SErVET"
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    - ``None``       -> a generator seeded with :data:`DEFAULT_SEED`
+    - ``int``        -> a fresh ``default_rng(seed)``
+    - ``Generator``  -> returned unchanged (shared state)
+    """
+    if seed is None:
+        return np.random.default_rng(DEFAULT_SEED)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(int(seed))
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Used when a benchmark runs per-core measurements that must not share
+    random streams (e.g. each core's page allocations are independent).
+    """
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

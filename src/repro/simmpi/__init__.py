@@ -1,0 +1,39 @@
+"""Discrete-event message-passing runtime (the substrate's "MPI").
+
+Servet's communication benchmarks are MPI programs; this package
+provides the runtime they run on in our reproduction: generator-based
+processes placed on specific cores of a simulated cluster, blocking
+send/recv with eager/rendezvous protocol semantics, collectives, and a
+virtual clock driven by the :mod:`repro.netsim` cost models with dynamic
+per-layer contention.
+"""
+
+from .events import Engine
+from .comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Handle,
+    Rank,
+    World,
+    WorldResult,
+)
+from .primitives import (
+    ConcurrentResult,
+    concurrent_exchanges,
+    concurrent_transfers,
+    pingpong_latency,
+)
+
+__all__ = [
+    "Engine",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Handle",
+    "Rank",
+    "World",
+    "WorldResult",
+    "ConcurrentResult",
+    "concurrent_exchanges",
+    "concurrent_transfers",
+    "pingpong_latency",
+]

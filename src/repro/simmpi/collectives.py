@@ -1,0 +1,170 @@
+"""Collective operations for the simulated MPI.
+
+Implemented as generator helpers over point-to-point requests, with the
+standard algorithms of production MPI libraries: dissemination barrier,
+binomial-tree broadcast, flat gather and ring allgather.  Used by the
+autotuning examples to show that the placement advice derived from a
+Servet report shortens real (virtual-time) collective executions.
+"""
+
+from __future__ import annotations
+
+from .comm import Rank
+
+
+def barrier(rank: Rank, tag: int = 900_000):
+    """Dissemination barrier: ceil(log2(P)) rounds of pairwise signals."""
+    size = rank.size
+    if size == 1:
+        return
+    step = 1
+    round_idx = 0
+    while step < size:
+        dest = (rank.id + step) % size
+        src = (rank.id - step) % size
+        yield rank.send(dest, 1, tag=tag + round_idx)
+        yield rank.recv(src, tag=tag + round_idx)
+        step *= 2
+        round_idx += 1
+
+
+def bcast(rank: Rank, root: int, nbytes: int, tag: int = 910_000):
+    """Binomial-tree broadcast of ``nbytes`` from ``root``.
+
+    The classic MPICH mask walk: a rank receives from the peer that
+    differs in its lowest set (relative) bit, then forwards to every
+    relative rank obtained by setting a lower bit.
+    """
+    size = rank.size
+    if size == 1:
+        return
+    rel = (rank.id - root) % size
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            parent = (root + (rel ^ mask)) % size
+            yield rank.recv(parent, tag=tag)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if rel + mask < size:
+            child = (root + rel + mask) % size
+            yield rank.send(child, nbytes, tag=tag)
+        mask >>= 1
+
+
+def gather(rank: Rank, root: int, nbytes: int, tag: int = 920_000):
+    """Flat gather: every non-root sends ``nbytes`` to ``root``."""
+    if rank.size == 1:
+        return
+    if rank.id == root:
+        for _ in range(rank.size - 1):
+            yield rank.recv(tag=tag)
+    else:
+        yield rank.send(root, nbytes, tag=tag)
+
+
+def allgather(rank: Rank, nbytes: int, tag: int = 930_000):
+    """Ring allgather: P-1 steps, each forwarding one block."""
+    size = rank.size
+    if size == 1:
+        return
+    right = (rank.id + 1) % size
+    left = (rank.id - 1) % size
+    for step in range(size - 1):
+        yield rank.send(right, nbytes, tag=tag + step)
+        yield rank.recv(left, tag=tag + step)
+
+
+def reduce(rank: Rank, root: int, nbytes: int, tag: int = 940_000):
+    """Binomial-tree reduction to ``root`` (mirror image of bcast)."""
+    size = rank.size
+    if size == 1:
+        return
+    rel = (rank.id - root) % size
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            parent = (root + (rel ^ mask)) % size
+            yield rank.send(parent, nbytes, tag=tag)
+            return
+        child_rel = rel | mask
+        if child_rel < size and child_rel != rel:
+            child = (root + child_rel) % size
+            yield rank.recv(child, tag=tag)
+        mask <<= 1
+
+
+def scatter(rank: Rank, root: int, nbytes: int, tag: int = 950_000):
+    """Flat scatter: ``root`` sends one block to every other rank."""
+    if rank.size == 1:
+        return
+    if rank.id == root:
+        for other in range(rank.size):
+            if other != root:
+                yield rank.send(other, nbytes, tag=tag)
+    else:
+        yield rank.recv(root, tag=tag)
+
+
+def alltoall(rank: Rank, nbytes: int, tag: int = 960_000):
+    """All-to-all exchange in P-1 rounds.
+
+    Power-of-two sizes use the XOR pairwise schedule (deadlock-free
+    under any protocol).  Other sizes use the ring-shift schedule with
+    a pre-posted non-blocking receive per round, which keeps even
+    rendezvous-sized rounds deadlock-free (the real-MPI idiom).
+    """
+    size = rank.size
+    if size == 1:
+        return
+    power_of_two = size & (size - 1) == 0
+    for step in range(1, size):
+        if power_of_two:
+            peer = rank.id ^ step
+            if rank.id < peer:
+                yield rank.send(peer, nbytes, tag=tag + step)
+                yield rank.recv(peer, tag=tag + step)
+            else:
+                yield rank.recv(peer, tag=tag + step)
+                yield rank.send(peer, nbytes, tag=tag + step)
+        else:
+            dst = (rank.id + step) % size
+            src = (rank.id - step) % size
+            handle = yield rank.irecv(src, tag=tag + step)
+            yield rank.send(dst, nbytes, tag=tag + step)
+            yield rank.wait(handle)
+
+
+def hierarchical_bcast(
+    rank: Rank,
+    root: int,
+    nbytes: int,
+    groups: list[list[int]],
+    tag: int = 970_000,
+):
+    """Two-level broadcast: root -> group leaders -> group members.
+
+    ``groups`` partitions the ranks (typically one group per node, as
+    derived from the measured communication layers); the leader of the
+    root's group is the root itself.  This is the classic SMP-cluster
+    optimization ([5]-[7] in the paper): exactly one message crosses
+    the slow layer per remote group.
+    """
+    my_group = next(g for g in groups if rank.id in g)
+    leader = root if root in my_group else min(my_group)
+    if rank.id == root:
+        for group in groups:
+            if root in group:
+                continue
+            yield rank.send(min(group), nbytes, tag=tag)
+    elif rank.id == leader:
+        yield rank.recv(root, tag=tag)
+    # Intra-group flat broadcast from the leader.
+    if rank.id == leader:
+        for member in my_group:
+            if member != leader and member != root:
+                yield rank.send(member, nbytes, tag=tag + 1)
+    elif rank.id != root:
+        yield rank.recv(leader, tag=tag + 1)

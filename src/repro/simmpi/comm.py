@@ -1,0 +1,514 @@
+"""Processes, matching and transfer semantics of the simulated MPI.
+
+A process is a Python generator that yields *requests* created through
+its :class:`Rank` handle::
+
+    def worker(rank: Rank):
+        yield rank.compute(1e-6)
+        yield rank.send(dest=1, nbytes=4096)
+        src, nbytes = yield rank.recv(source=ANY_SOURCE)
+
+Semantics (modelled on real MPI middleware, as the paper assumes):
+
+- **Eager protocol** (``nbytes <= layer.eager_threshold``): the sender
+  deposits the message and continues immediately; the receiver observes
+  the full transfer latency.
+- **Rendezvous protocol** (larger messages): sender and receiver both
+  block until the transfer completes.
+- **Contention**: a transfer starting while ``N-1`` transfers are
+  already active in the same layer takes ``layer.latency(nbytes, N)``.
+  Already-running transfers are not re-priced (a documented
+  approximation of fluid sharing).
+
+Matching is FIFO per (source, tag) with MPI-style wildcards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from collections.abc import Callable, Generator, Sequence
+
+from ..errors import ConfigurationError, SimulationError
+from ..netsim.model import CommConfig
+from ..topology.machine import Cluster
+from .events import Engine
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Handle",
+    "Rank",
+    "World",
+    "WorldResult",
+]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+ProcessFn = Callable[["Rank"], Generator]
+
+
+@dataclass(frozen=True)
+class _SendReq:
+    dest: int
+    nbytes: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class _RecvReq:
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class _ComputeReq:
+    seconds: float
+
+
+@dataclass(frozen=True)
+class _IsendReq:
+    dest: int
+    nbytes: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class _IrecvReq:
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class _WaitReq:
+    handle: "Handle"
+
+
+class Handle:
+    """Completion handle of a nonblocking operation.
+
+    ``wait`` on it (``value = yield rank.wait(handle)``) to block until
+    the operation finishes; a completed receive resolves to
+    ``(source, nbytes)``, a completed send to ``None``.
+    """
+
+    __slots__ = ("done", "value", "_waiter")
+
+    def __init__(self) -> None:
+        self.done = False
+        self.value: object = None
+        self._waiter: _Proc | None = None
+
+
+class Rank:
+    """A process's handle: identity plus request constructors."""
+
+    def __init__(self, world: "World", rank: int) -> None:
+        self._world = world
+        self.id = rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world."""
+        return self._world.size
+
+    @property
+    def core(self) -> int:
+        """Global core id this rank is placed on."""
+        return self._world.placement[self.id]
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self._world.engine.now
+
+    def send(self, dest: int, nbytes: int, tag: int = 0) -> _SendReq:
+        """Request: send ``nbytes`` to rank ``dest``."""
+        if not (0 <= dest < self.size):
+            raise SimulationError(f"send to invalid rank {dest}")
+        if dest == self.id:
+            raise SimulationError("send to self is not supported")
+        if nbytes < 0 or tag < 0:
+            raise SimulationError("invalid send arguments")
+        return _SendReq(dest, nbytes, tag)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> _RecvReq:
+        """Request: receive a message; resumes with ``(source, nbytes)``."""
+        if source != ANY_SOURCE and not (0 <= source < self.size):
+            raise SimulationError(f"recv from invalid rank {source}")
+        if source == self.id:
+            raise SimulationError("recv from self is not supported")
+        return _RecvReq(source, tag)
+
+    def compute(self, seconds: float) -> _ComputeReq:
+        """Request: model local computation for ``seconds``."""
+        if seconds < 0:
+            raise SimulationError("compute time must be >= 0")
+        return _ComputeReq(seconds)
+
+    def isend(self, dest: int, nbytes: int, tag: int = 0) -> _IsendReq:
+        """Request: nonblocking send; resumes immediately with a
+        :class:`Handle` (complete when the buffer is reusable — at
+        injection for eager messages, at transfer end for rendezvous)."""
+        self.send(dest, nbytes, tag)  # argument validation only
+        return _IsendReq(dest, nbytes, tag)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> _IrecvReq:
+        """Request: nonblocking receive; resumes immediately with a
+        :class:`Handle` that resolves to ``(source, nbytes)``."""
+        self.recv(source, tag)  # argument validation only
+        return _IrecvReq(source, tag)
+
+    def wait(self, handle: Handle) -> _WaitReq:
+        """Request: block until ``handle`` completes; resumes with its
+        value."""
+        if not isinstance(handle, Handle):
+            raise SimulationError("wait() needs a Handle from isend/irecv")
+        return _WaitReq(handle)
+
+    # Collectives (generator helpers; use with ``yield from``).
+
+    def barrier(self, tag: int = 900_000):
+        """Dissemination barrier across all ranks."""
+        from .collectives import barrier
+
+        return barrier(self, tag=tag)
+
+    def bcast(self, root: int, nbytes: int, tag: int = 910_000):
+        """Binomial-tree broadcast of ``nbytes`` from ``root``."""
+        from .collectives import bcast
+
+        return bcast(self, root, nbytes, tag=tag)
+
+    def gather(self, root: int, nbytes: int, tag: int = 920_000):
+        """Flat gather of ``nbytes`` from every rank to ``root``."""
+        from .collectives import gather
+
+        return gather(self, root, nbytes, tag=tag)
+
+    def allgather(self, nbytes: int, tag: int = 930_000):
+        """Ring allgather of ``nbytes`` per rank."""
+        from .collectives import allgather
+
+        return allgather(self, nbytes, tag=tag)
+
+
+@dataclass
+class _Proc:
+    rank: int
+    gen: Generator
+    finished: bool = False
+    finish_time: float = 0.0
+    blocked_on: str = ""
+
+
+@dataclass
+class _PendingSend:
+    src: int
+    dest: int
+    nbytes: int
+    tag: int
+    #: Absolute arrival time of an already-in-flight eager payload;
+    #: ``None`` for a rendezvous send still waiting for its receiver.
+    eager_arrival: float | None = None
+    #: Called when the sender's buffer becomes reusable (rendezvous
+    #: sends only — eager sends complete before being queued).
+    sender_done: object | None = None
+
+
+@dataclass
+class _PendingRecv:
+    rank: int
+    source: int
+    tag: int
+    #: Called with ``(source, nbytes)`` when the message lands.
+    receiver_done: object = None
+
+
+@dataclass
+class WorldResult:
+    """Outcome of :meth:`World.run`."""
+
+    finish_times: dict[int, float]
+    makespan: float
+    messages: int
+    bytes_sent: int
+    per_layer_messages: dict[str, int] = field(default_factory=dict)
+
+
+class World:
+    """A set of ranks placed on cluster cores, plus the event runtime."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: CommConfig,
+        placement: Sequence[int],
+    ) -> None:
+        if len(set(placement)) != len(placement):
+            raise ConfigurationError("placement maps two ranks to one core")
+        for core in placement:
+            if not (0 <= core < cluster.n_cores):
+                raise ConfigurationError(f"placement core {core} out of range")
+        self.cluster = cluster
+        self.config = config
+        self.placement = list(placement)
+        self.engine = Engine()
+        self._procs: dict[int, _Proc] = {}
+        self._pending_sends: dict[int, deque[_PendingSend]] = {}
+        self._pending_recvs: dict[int, deque[_PendingRecv]] = {}
+        self._active_in_layer: dict[str, int] = {}
+        self._messages = 0
+        self._bytes = 0
+        self._per_layer: dict[str, int] = {}
+
+    @property
+    def size(self) -> int:
+        """Number of ranks."""
+        return len(self.placement)
+
+    def add_process(self, fn: ProcessFn, rank: int) -> None:
+        """Install the program of ``rank`` (one per rank)."""
+        if not (0 <= rank < self.size):
+            raise ConfigurationError(f"rank {rank} out of range")
+        if rank in self._procs:
+            raise ConfigurationError(f"rank {rank} already has a process")
+        gen = fn(Rank(self, rank))
+        if not isinstance(gen, Generator):
+            raise ConfigurationError("process function must be a generator function")
+        self._procs[rank] = _Proc(rank=rank, gen=gen)
+
+    def spawn_all(self, fn: ProcessFn) -> None:
+        """Run the same program on every rank (SPMD)."""
+        for rank in range(self.size):
+            self.add_process(fn, rank)
+
+    # -- runtime ----------------------------------------------------------
+
+    def run(self, max_time: float | None = None) -> WorldResult:
+        """Execute until every process finishes; detect deadlock."""
+        if len(self._procs) != self.size:
+            raise ConfigurationError(
+                f"world has {self.size} ranks but {len(self._procs)} processes"
+            )
+        for proc in self._procs.values():
+            self.engine.schedule(0.0, lambda p=proc: self._advance(p, None))
+        self.engine.run(max_time=max_time)
+        unfinished = [p.rank for p in self._procs.values() if not p.finished]
+        if unfinished and max_time is None:
+            details = ", ".join(
+                f"rank {r} blocked on {self._procs[r].blocked_on or '??'}"
+                for r in unfinished
+            )
+            raise SimulationError(f"deadlock: {details}")
+        finish = {p.rank: p.finish_time for p in self._procs.values() if p.finished}
+        return WorldResult(
+            finish_times=finish,
+            makespan=max(finish.values()) if finish else 0.0,
+            messages=self._messages,
+            bytes_sent=self._bytes,
+            per_layer_messages=dict(self._per_layer),
+        )
+
+    def _advance(self, proc: _Proc, value: object) -> None:
+        if proc.finished:
+            raise SimulationError(f"rank {proc.rank} resumed after finishing")
+        try:
+            request = proc.gen.send(value)
+        except StopIteration:
+            proc.finished = True
+            proc.finish_time = self.engine.now
+            return
+        if isinstance(request, _ComputeReq):
+            proc.blocked_on = f"compute({request.seconds:g}s)"
+            self.engine.schedule(request.seconds, lambda: self._advance(proc, None))
+        elif isinstance(request, _SendReq):
+            proc.blocked_on = f"send(dest={request.dest}, tag={request.tag})"
+            self._handle_send(proc, request)
+        elif isinstance(request, _RecvReq):
+            proc.blocked_on = f"recv(source={request.source}, tag={request.tag})"
+            self._handle_recv(
+                proc,
+                request,
+                receiver_done=lambda value: self._advance(proc, value),
+            )
+        elif isinstance(request, _IsendReq):
+            self._handle_isend(proc, request)
+        elif isinstance(request, _IrecvReq):
+            handle = Handle()
+            self._handle_recv(
+                proc,
+                _RecvReq(request.source, request.tag),
+                receiver_done=lambda value, h=handle: self._complete(h, value),
+            )
+            self.engine.schedule(0.0, lambda: self._advance(proc, handle))
+        elif isinstance(request, _WaitReq):
+            handle = request.handle
+            if handle.done:
+                self.engine.schedule(
+                    0.0, lambda: self._advance(proc, handle.value)
+                )
+            else:
+                if handle._waiter is not None:
+                    raise SimulationError("two processes waiting on one handle")
+                proc.blocked_on = "wait(handle)"
+                handle._waiter = proc
+        else:
+            raise SimulationError(
+                f"rank {proc.rank} yielded unknown request {request!r}"
+            )
+
+    def _complete(self, handle: Handle, value: object = None) -> None:
+        """Mark a handle done and release anyone waiting on it."""
+        handle.done = True
+        handle.value = value
+        if handle._waiter is not None:
+            waiter, handle._waiter = handle._waiter, None
+            self._advance(waiter, value)
+
+    def _match_recv(self, dest: int, src: int, tag: int):
+        """Pop the first posted recv at ``dest`` matching (src, tag)."""
+        queue = self._pending_recvs.get(dest)
+        if queue:
+            for i, pending in enumerate(queue):
+                if _recv_matches(pending, src, tag):
+                    del queue[i]
+                    return pending
+        return None
+
+    def _handle_send(self, proc: _Proc, req: _SendReq) -> None:
+        sender_done = lambda: self._advance(proc, None)  # noqa: E731
+        pending = self._match_recv(req.dest, proc.rank, req.tag)
+        if pending is not None:
+            self._start_transfer(
+                proc.rank, req.dest, req.nbytes, req.tag,
+                sender_done, pending.receiver_done,
+            )
+            return
+        params = self.config.params_for_pair(
+            self.cluster, self.placement[proc.rank], self.placement[req.dest]
+        )
+        if params.is_eager(req.nbytes):
+            # Unmatched eager send: the payload goes on the wire now and
+            # the sender continues; the receiver will pick it up from
+            # the unexpected-message queue whenever it posts its recv.
+            duration = self._begin_wire_transfer(params, req.nbytes)
+            self._pending_sends.setdefault(req.dest, deque()).append(
+                _PendingSend(
+                    proc.rank,
+                    req.dest,
+                    req.nbytes,
+                    req.tag,
+                    eager_arrival=self.engine.now + duration,
+                )
+            )
+            self.engine.schedule(0.0, sender_done)
+        else:
+            self._pending_sends.setdefault(req.dest, deque()).append(
+                _PendingSend(
+                    proc.rank, req.dest, req.nbytes, req.tag,
+                    sender_done=sender_done,
+                )
+            )
+
+    def _handle_isend(self, proc: _Proc, req: _IsendReq) -> None:
+        handle = Handle()
+        self.engine.schedule(0.0, lambda: self._advance(proc, handle))
+        sender_done = lambda: self._complete(handle)  # noqa: E731
+        pending = self._match_recv(req.dest, proc.rank, req.tag)
+        if pending is not None:
+            self._start_transfer(
+                proc.rank, req.dest, req.nbytes, req.tag,
+                sender_done, pending.receiver_done,
+            )
+            return
+        params = self.config.params_for_pair(
+            self.cluster, self.placement[proc.rank], self.placement[req.dest]
+        )
+        if params.is_eager(req.nbytes):
+            duration = self._begin_wire_transfer(params, req.nbytes)
+            self._pending_sends.setdefault(req.dest, deque()).append(
+                _PendingSend(
+                    proc.rank,
+                    req.dest,
+                    req.nbytes,
+                    req.tag,
+                    eager_arrival=self.engine.now + duration,
+                )
+            )
+            self._complete(handle)  # eager buffer handed off immediately
+        else:
+            self._pending_sends.setdefault(req.dest, deque()).append(
+                _PendingSend(
+                    proc.rank, req.dest, req.nbytes, req.tag,
+                    sender_done=sender_done,
+                )
+            )
+
+    def _handle_recv(self, proc: _Proc, req: _RecvReq, receiver_done) -> None:
+        queue = self._pending_sends.get(proc.rank)
+        if queue:
+            for i, pending in enumerate(queue):
+                if _send_matches(pending, req):
+                    del queue[i]
+                    if pending.eager_arrival is not None:
+                        # Payload is already in flight (or has landed).
+                        delay = max(0.0, pending.eager_arrival - self.engine.now)
+                        src, nbytes = pending.src, pending.nbytes
+                        self.engine.schedule(
+                            delay, lambda: receiver_done((src, nbytes))
+                        )
+                    else:
+                        self._start_transfer(
+                            pending.src,
+                            proc.rank,
+                            pending.nbytes,
+                            pending.tag,
+                            pending.sender_done,
+                            receiver_done,
+                        )
+                    return
+        self._pending_recvs.setdefault(proc.rank, deque()).append(
+            _PendingRecv(proc.rank, req.source, req.tag, receiver_done)
+        )
+
+    def _begin_wire_transfer(self, params, nbytes: int) -> float:
+        """Account for one message entering the layer; returns duration."""
+        active = self._active_in_layer.get(params.name, 0)
+        duration = params.latency(nbytes, concurrency=active + 1)
+        self._active_in_layer[params.name] = active + 1
+        self._messages += 1
+        self._bytes += nbytes
+        self._per_layer[params.name] = self._per_layer.get(params.name, 0) + 1
+
+        def release() -> None:
+            self._active_in_layer[params.name] -= 1
+
+        self.engine.schedule(duration, release)
+        return duration
+
+    def _start_transfer(
+        self, src: int, dest: int, nbytes: int, tag: int, sender_done, receiver_done
+    ) -> None:
+        core_s = self.placement[src]
+        core_d = self.placement[dest]
+        params = self.config.params_for_pair(self.cluster, core_s, core_d)
+        duration = self._begin_wire_transfer(params, nbytes)
+
+        if params.is_eager(nbytes):
+            # Sender continues immediately; receiver pays the latency.
+            self.engine.schedule(0.0, sender_done)
+        else:
+            self.engine.schedule(duration, sender_done)
+        self.engine.schedule(duration, lambda: receiver_done((src, nbytes)))
+
+
+def _recv_matches(pending: _PendingRecv, src: int, tag: int) -> bool:
+    return (pending.source in (ANY_SOURCE, src)) and (pending.tag in (ANY_TAG, tag))
+
+
+def _send_matches(pending: _PendingSend, req: _RecvReq) -> bool:
+    return (req.source in (ANY_SOURCE, pending.src)) and (
+        req.tag in (ANY_TAG, pending.tag)
+    )

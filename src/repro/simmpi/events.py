@@ -1,0 +1,52 @@
+"""Virtual-time event loop.
+
+A minimal discrete-event engine: callbacks scheduled at absolute virtual
+times, executed in time order (FIFO among equal timestamps).  Kept
+deliberately tiny — all semantics live in :mod:`repro.simmpi.comm`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+from ..errors import SimulationError
+
+
+class Engine:
+    """A monotone virtual clock with a scheduled-callback heap."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-executed callbacks."""
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Execute the earliest callback; False when nothing is pending."""
+        if not self._heap:
+            return False
+        time, _, fn = heapq.heappop(self._heap)
+        if time < self.now:
+            raise SimulationError("virtual time moved backwards")
+        self.now = time
+        fn()
+        return True
+
+    def run(self, max_time: float | None = None) -> None:
+        """Drain the event heap (optionally stopping after ``max_time``)."""
+        while self._heap:
+            if max_time is not None and self._heap[0][0] > max_time:
+                return
+            self.step()

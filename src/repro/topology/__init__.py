@@ -1,0 +1,53 @@
+"""Machine and cluster topology descriptions.
+
+This package models the *ground truth* hardware that the simulated
+backend implements and that the Servet benchmarks must rediscover
+blindly: cache specifications and sharing groups, processors, cells,
+memory bandwidth domains and multi-node clusters.
+"""
+
+from .cache import CacheSpec, CacheLevel, Indexing
+from .machine import BandwidthDomain, Machine, Cluster, CorePair, all_pairs
+from .serialization import (
+    cluster_from_dict,
+    cluster_to_dict,
+    load_cluster,
+    machine_from_dict,
+    machine_to_dict,
+    save_cluster,
+)
+from .builders import (
+    athlon_3200,
+    builder_names,
+    build_machine,
+    dempsey,
+    dunnington,
+    finis_terrae,
+    finis_terrae_node,
+    generic_smp,
+)
+
+__all__ = [
+    "CacheSpec",
+    "CacheLevel",
+    "Indexing",
+    "BandwidthDomain",
+    "Machine",
+    "Cluster",
+    "CorePair",
+    "all_pairs",
+    "athlon_3200",
+    "builder_names",
+    "build_machine",
+    "dempsey",
+    "dunnington",
+    "finis_terrae",
+    "finis_terrae_node",
+    "generic_smp",
+    "cluster_from_dict",
+    "cluster_to_dict",
+    "load_cluster",
+    "machine_from_dict",
+    "machine_to_dict",
+    "save_cluster",
+]

@@ -1,0 +1,179 @@
+"""Cache specifications and per-level sharing groups.
+
+A :class:`CacheSpec` describes one kind of cache (size, associativity,
+line size, indexing scheme, access latency).  A :class:`CacheLevel`
+instantiates a spec on a machine by saying which cores share each
+physical cache instance.  The distinction matters for every Servet
+benchmark: cache *size* detection needs the spec, shared-cache detection
+needs the groups.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..units import format_size, is_power_of_two
+
+
+class Indexing(enum.Enum):
+    """How a cache derives its set index from an address.
+
+    ``VIRTUAL`` caches (typically L1) index with the virtual address, so
+    a contiguous virtual array maps deterministically and the mcalibrator
+    cycles curve shows a sharp cliff exactly at the cache size.
+
+    ``PHYSICAL`` caches (L2/L3 in practice, see Hennessy & Patterson)
+    index with the physical address; under an OS without page coloring
+    the virtual->physical page mapping is effectively random, smearing
+    the cliff — the situation Servet's probabilistic algorithm decodes.
+    """
+
+    VIRTUAL = "virtual"
+    PHYSICAL = "physical"
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Static description of one cache design.
+
+    Parameters
+    ----------
+    level:
+        1-based level number (1 = closest to the core).
+    size:
+        Total capacity in bytes.
+    ways:
+        Associativity.  ``size`` must be divisible by ``ways * line_size``.
+    line_size:
+        Cache line size in bytes (power of two).
+    indexing:
+        Virtual or physical set indexing (see :class:`Indexing`).
+    latency:
+        Access cost in cycles charged when a request *reaches* this
+        level.  An access that hits at level *j* costs the sum of the
+        latencies of levels ``1..j``.
+    """
+
+    level: int
+    size: int
+    ways: int
+    line_size: int = 64
+    indexing: Indexing = Indexing.PHYSICAL
+    latency: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.level < 1:
+            raise ConfigurationError(f"cache level must be >= 1, got {self.level}")
+        if self.size <= 0 or self.ways <= 0:
+            raise ConfigurationError("cache size and ways must be positive")
+        if not is_power_of_two(self.line_size):
+            raise ConfigurationError(f"line size {self.line_size} not a power of two")
+        if self.size % (self.ways * self.line_size) != 0:
+            raise ConfigurationError(
+                f"cache size {self.size} not divisible by ways*line "
+                f"({self.ways}*{self.line_size})"
+            )
+        if not is_power_of_two(self.num_sets):
+            # Set indexing uses a modulo; non-power-of-two set counts do
+            # exist but real caches (and our address math) assume 2^k.
+            raise ConfigurationError(
+                f"cache with {self.num_sets} sets: set count must be a power of two"
+            )
+        if self.latency < 0:
+            raise ConfigurationError("cache latency must be non-negative")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets (``size / (ways * line_size)``)."""
+        return self.size // (self.ways * self.line_size)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.size // self.line_size
+
+    def page_colors(self, page_size: int) -> int:
+        """Number of *page sets* (colors): ``size / (ways * page_size)``.
+
+        This is the quantity ``CS/(K*PS)`` from the paper's binomial
+        model.  For small caches one page may cover the whole cache, in
+        which case there is a single color.
+        """
+        if page_size <= 0 or page_size % self.line_size != 0:
+            raise ConfigurationError(
+                f"page size {page_size} incompatible with line size {self.line_size}"
+            )
+        colors = self.size // (self.ways * page_size)
+        return max(1, colors)
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``'L2 3MB 12-way physical'``."""
+        return (
+            f"L{self.level} {format_size(self.size)} {self.ways}-way "
+            f"{self.indexing.value}"
+        )
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """A cache level instantiated on a machine.
+
+    ``groups`` partitions the machine's cores: each group is the set of
+    cores sharing one physical instance of ``spec``.  Private caches are
+    singleton groups.
+    """
+
+    spec: CacheSpec
+    groups: tuple[frozenset[int], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for group in self.groups:
+            if not group:
+                raise ConfigurationError("empty cache sharing group")
+            overlap = seen & group
+            if overlap:
+                raise ConfigurationError(
+                    f"cores {sorted(overlap)} appear in two groups of "
+                    f"{self.spec.describe()}"
+                )
+            seen |= group
+
+    @property
+    def cores(self) -> frozenset[int]:
+        """All cores covered by this level."""
+        return frozenset().union(*self.groups) if self.groups else frozenset()
+
+    def group_of(self, core: int) -> frozenset[int]:
+        """The sharing group containing ``core``."""
+        for group in self.groups:
+            if core in group:
+                return group
+        raise ConfigurationError(
+            f"core {core} has no {self.spec.describe()} instance"
+        )
+
+    def instance_index(self, core: int) -> int:
+        """Index of the physical instance used by ``core``."""
+        for i, group in enumerate(self.groups):
+            if core in group:
+                return i
+        raise ConfigurationError(
+            f"core {core} has no {self.spec.describe()} instance"
+        )
+
+    def shared_by(self, core_a: int, core_b: int) -> bool:
+        """True if the two cores use the same physical cache instance."""
+        return self.group_of(core_a) is self.group_of(core_b)
+
+
+def private_groups(n_cores: int) -> tuple[frozenset[int], ...]:
+    """Sharing groups for a private (per-core) cache level."""
+    return tuple(frozenset((c,)) for c in range(n_cores))
+
+
+def grouped(groups: list[list[int]]) -> tuple[frozenset[int], ...]:
+    """Convenience converter from lists of core ids to sharing groups."""
+    return tuple(frozenset(g) for g in groups)

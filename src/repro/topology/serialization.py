@@ -1,0 +1,199 @@
+"""JSON (de)serialization of machine/cluster descriptions.
+
+Lets users describe their own system under test in a file instead of
+writing a builder — ``servet run --machine-file my_cluster.json``.  The
+format covers everything the simulated backend needs: cache levels with
+sharing groups, processors/cells, the bandwidth-domain tree, optional
+TLB, node count and (optionally) the communication layer parameters.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from ..memsim.tlb import TLBSpec
+from ..netsim.model import CommConfig, LayerParams
+from .cache import CacheLevel, CacheSpec, Indexing
+from .machine import BandwidthDomain, Cluster, Machine
+
+
+def _domain_to_dict(domain: BandwidthDomain) -> dict:
+    return {
+        "name": domain.name,
+        "capacity": domain.capacity,
+        "cores": sorted(domain.cores),
+        "children": [_domain_to_dict(child) for child in domain.children],
+    }
+
+
+def _domain_from_dict(data: dict) -> BandwidthDomain:
+    return BandwidthDomain(
+        name=data["name"],
+        capacity=float(data["capacity"]),
+        cores=frozenset(int(c) for c in data["cores"]),
+        children=tuple(_domain_from_dict(c) for c in data.get("children", [])),
+    )
+
+
+def machine_to_dict(machine: Machine) -> dict:
+    """Plain-JSON description of a machine."""
+    data = {
+        "name": machine.name,
+        "n_cores": machine.n_cores,
+        "page_size": machine.page_size,
+        "mem_latency": machine.mem_latency,
+        "clock_hz": machine.clock_hz,
+        "core_stream_bw": machine.core_stream_bw,
+        "levels": [
+            {
+                "level": lvl.spec.level,
+                "size": lvl.spec.size,
+                "ways": lvl.spec.ways,
+                "line_size": lvl.spec.line_size,
+                "indexing": lvl.spec.indexing.value,
+                "latency": lvl.spec.latency,
+                "groups": [sorted(g) for g in lvl.groups],
+            }
+            for lvl in machine.levels
+        ],
+        "processors": [sorted(g) for g in machine.processors],
+        "cells": [sorted(g) for g in machine.cells],
+        "bandwidth": _domain_to_dict(machine.bandwidth_root),
+    }
+    if machine.tlb is not None:
+        data["tlb"] = {
+            "entries": machine.tlb.entries,
+            "ways": machine.tlb.ways,
+            "walk_cycles": machine.tlb.walk_cycles,
+        }
+    return data
+
+
+def machine_from_dict(data: dict) -> Machine:
+    """Inverse of :func:`machine_to_dict` (validates on construction)."""
+    try:
+        levels = tuple(
+            CacheLevel(
+                CacheSpec(
+                    level=int(lvl["level"]),
+                    size=int(lvl["size"]),
+                    ways=int(lvl["ways"]),
+                    line_size=int(lvl.get("line_size", 64)),
+                    indexing=Indexing(lvl["indexing"]),
+                    latency=float(lvl["latency"]),
+                ),
+                tuple(frozenset(int(c) for c in g) for g in lvl["groups"]),
+            )
+            for lvl in data["levels"]
+        )
+        tlb = None
+        if "tlb" in data:
+            raw = data["tlb"]
+            tlb = TLBSpec(
+                entries=int(raw["entries"]),
+                ways=None if raw.get("ways") is None else int(raw["ways"]),
+                walk_cycles=float(raw.get("walk_cycles", 30.0)),
+            )
+        return Machine(
+            name=str(data["name"]),
+            n_cores=int(data["n_cores"]),
+            levels=levels,
+            processors=tuple(
+                frozenset(int(c) for c in g) for g in data["processors"]
+            ),
+            cells=tuple(frozenset(int(c) for c in g) for g in data["cells"]),
+            page_size=int(data["page_size"]),
+            mem_latency=float(data["mem_latency"]),
+            clock_hz=float(data["clock_hz"]),
+            core_stream_bw=float(data["core_stream_bw"]),
+            bandwidth_root=_domain_from_dict(data["bandwidth"]),
+            tlb=tlb,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed machine description: {exc}") from exc
+
+
+def comm_config_to_dict(config: CommConfig) -> dict:
+    """Plain-JSON description of a communication config."""
+    return {
+        key: {
+            "base_latency": p.base_latency,
+            "bandwidth": p.bandwidth,
+            "eager_threshold": p.eager_threshold,
+            "rendezvous_latency": p.rendezvous_latency,
+            "cache_capacity": p.cache_capacity,
+            "mem_bandwidth": p.mem_bandwidth,
+            "contention_factor": p.contention_factor,
+        }
+        for key, p in config.layers.items()
+    }
+
+
+def comm_config_from_dict(data: dict) -> CommConfig:
+    """Inverse of :func:`comm_config_to_dict`."""
+    try:
+        return CommConfig(
+            {
+                key: LayerParams(
+                    name=key,
+                    base_latency=float(raw["base_latency"]),
+                    bandwidth=float(raw["bandwidth"]),
+                    eager_threshold=int(raw.get("eager_threshold", 65536)),
+                    rendezvous_latency=float(raw.get("rendezvous_latency", 0.0)),
+                    cache_capacity=(
+                        None
+                        if raw.get("cache_capacity") is None
+                        else int(raw["cache_capacity"])
+                    ),
+                    mem_bandwidth=(
+                        None
+                        if raw.get("mem_bandwidth") is None
+                        else float(raw["mem_bandwidth"])
+                    ),
+                    contention_factor=float(raw.get("contention_factor", 0.0)),
+                )
+                for key, raw in data.items()
+            }
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed comm config: {exc}") from exc
+
+
+def cluster_to_dict(cluster: Cluster, comm: CommConfig | None = None) -> dict:
+    """Plain-JSON description of a cluster (optionally with comm model)."""
+    data = {
+        "name": cluster.name,
+        "n_nodes": cluster.n_nodes,
+        "node": machine_to_dict(cluster.node),
+    }
+    if comm is not None:
+        data["comm"] = comm_config_to_dict(comm)
+    return data
+
+
+def cluster_from_dict(data: dict) -> tuple[Cluster, CommConfig | None]:
+    """Inverse of :func:`cluster_to_dict`."""
+    try:
+        cluster = Cluster(
+            name=str(data["name"]),
+            node=machine_from_dict(data["node"]),
+            n_nodes=int(data.get("n_nodes", 1)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed cluster description: {exc}") from exc
+    comm = comm_config_from_dict(data["comm"]) if "comm" in data else None
+    return cluster, comm
+
+
+def save_cluster(
+    cluster: Cluster, path: str | Path, comm: CommConfig | None = None
+) -> None:
+    """Write a cluster description (and optional comm model) as JSON."""
+    Path(path).write_text(json.dumps(cluster_to_dict(cluster, comm), indent=2))
+
+
+def load_cluster(path: str | Path) -> tuple[Cluster, CommConfig | None]:
+    """Read a cluster description saved by :func:`save_cluster`."""
+    return cluster_from_dict(json.loads(Path(path).read_text()))

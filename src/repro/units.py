@@ -1,0 +1,108 @@
+"""Size and time unit helpers.
+
+The Servet paper talks about cache sizes in KB/MB, latencies in
+microseconds and bandwidths in MB/s or GB/s.  This module centralizes
+parsing and formatting so benchmark output matches the paper's notation.
+
+All byte quantities in this code base are plain ``int`` bytes; all times
+are ``float`` seconds unless a function name says otherwise (e.g.
+``cycles``); all bandwidths are ``float`` bytes/second.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import ConfigurationError
+
+#: Number of bytes in one binary kilobyte/megabyte/gigabyte.
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human-readable size (``"32KB"``, ``"3MB"``, ``512``) to bytes.
+
+    Integers pass through unchanged.  Binary units are used throughout
+    (1 KB == 1024 B), matching the convention of the paper's figures.
+
+    >>> parse_size("32KB")
+    32768
+    >>> parse_size("1.5MB")
+    1572864
+    """
+    if isinstance(text, int):
+        return text
+    m = _SIZE_RE.match(text)
+    if m is None:
+        raise ConfigurationError(f"unparsable size: {text!r}")
+    value = float(m.group(1))
+    suffix = m.group(2).lower()
+    if suffix not in _SUFFIXES:
+        raise ConfigurationError(f"unknown size suffix in {text!r}")
+    result = value * _SUFFIXES[suffix]
+    # Round to whole bytes: formatted sizes carry only ~4 significant
+    # digits ("1.001KB" means 1025 bytes, not an error).
+    return int(round(result))
+
+
+def format_size(nbytes: int | float) -> str:
+    """Format bytes compactly (``32768 -> '32KB'``, ``1572864 -> '1.5MB'``).
+
+    Chooses the largest unit that yields a value >= 1, trimming trailing
+    zeros; this is the notation used on the paper's x axes.
+    """
+    nbytes = float(nbytes)
+    for unit, factor in (("GB", GiB), ("MB", MiB), ("KB", KiB)):
+        if abs(nbytes) >= factor:
+            value = nbytes / factor
+            if abs(value - round(value)) < 1e-9:
+                return f"{int(round(value))}{unit}"
+            return f"{value:.4g}{unit}"
+    if abs(nbytes - round(nbytes)) < 1e-9:
+        return f"{int(round(nbytes))}B"
+    return f"{nbytes:.4g}B"
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration using the natural unit (ns/us/ms/s/min)."""
+    if seconds < 0:
+        return "-" + format_time(-seconds)
+    if seconds == 0:
+        return "0s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.4g}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.4g}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.4g}ms"
+    if seconds < 120.0:
+        return f"{seconds:.4g}s"
+    return f"{seconds / 60.0:.3g}min"
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Format a bandwidth (``2.5e9 -> '2.33GB/s'``)."""
+    return format_size(bytes_per_second) + "/s"
+
+
+def is_power_of_two(n: int) -> bool:
+    """True if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0

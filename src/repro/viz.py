@@ -1,0 +1,115 @@
+"""Plain-text rendering helpers for benchmark output.
+
+The benchmark harness must "print the same rows/series the paper
+reports" (Figures 2 and 8-10 are plots; Table I is a table).  These
+helpers render small ASCII tables and line charts on stdout so each
+bench's output can be compared to the paper's figure by eye.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` as a fixed-width table with a header rule.
+
+    Cells are stringified with ``str``; columns are right-padded to the
+    widest cell.  Returns the table as a single string (no trailing
+    newline) so callers can ``print`` it.
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _scale(value: float, lo: float, hi: float, steps: int, log: bool) -> int:
+    """Map ``value`` in [lo, hi] to an integer cell in [0, steps]."""
+    if hi <= lo:
+        return 0
+    if log:
+        value, lo, hi = math.log(value), math.log(lo), math.log(hi)
+    frac = (value - lo) / (hi - lo)
+    return min(steps, max(0, int(round(frac * steps))))
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series against shared x values.
+
+    Each series is drawn with its own marker character; a legend maps
+    markers back to series names.  Intended for the monotone, coarse
+    curves of the paper's figures (cycles vs. size, bandwidth vs. size).
+    """
+    markers = "*o+x#@%&"
+    finite_ys = [
+        y
+        for ys in series.values()
+        for y in ys
+        if y is not None and math.isfinite(y) and (not logy or y > 0)
+    ]
+    finite_xs = [x for x in xs if math.isfinite(x) and (not logx or x > 0)]
+    if not finite_ys or not finite_xs:
+        return "(no data)"
+    ylo, yhi = min(finite_ys), max(finite_ys)
+    xlo, xhi = min(finite_xs), max(finite_xs)
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+    for si, (name, ys) in enumerate(series.items()):
+        marker = markers[si % len(markers)]
+        for x, y in zip(xs, ys):
+            if y is None or not math.isfinite(y):
+                continue
+            if (logx and x <= 0) or (logy and y <= 0):
+                continue
+            col = _scale(x, xlo, xhi, width, logx)
+            row = height - _scale(y, ylo, yhi, height, logy)
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    ytop = f"{yhi:.4g}"
+    ybot = f"{ylo:.4g}"
+    pad = max(len(ytop), len(ybot))
+    for r, row in enumerate(grid):
+        label = ytop if r == 0 else (ybot if r == height else "")
+        lines.append(f"{label.rjust(pad)} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * (width + 1))
+    xlabel_line = f"{xlo:.4g}".ljust(width - 6) + f"{xhi:.4g}"
+    lines.append(" " * (pad + 2) + xlabel_line)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    axes = " ".join(filter(None, [f"x: {x_label}" if x_label else "", f"y: {y_label}" if y_label else ""]))
+    lines.append(" " * (pad + 2) + legend + ("   " + axes if axes else ""))
+    return "\n".join(lines)

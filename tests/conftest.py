@@ -1,0 +1,40 @@
+"""Shared fixtures.
+
+Suite runs are the expensive part of the test suite (a second or two
+each), so the full-report fixtures are session-scoped and shared by the
+integration and autotune tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ServetSuite, SimulatedBackend, dunnington, finis_terrae
+from repro.core.report import ServetReport
+
+
+@pytest.fixture(scope="session")
+def dunnington_machine():
+    return dunnington()
+
+
+@pytest.fixture(scope="session")
+def ft_cluster():
+    return finis_terrae(2)
+
+
+@pytest.fixture(scope="session")
+def dunnington_backend(dunnington_machine) -> SimulatedBackend:
+    return SimulatedBackend(dunnington_machine, seed=42)
+
+
+@pytest.fixture(scope="session")
+def dunnington_report(dunnington_machine) -> ServetReport:
+    backend = SimulatedBackend(dunnington_machine, seed=42)
+    return ServetSuite(backend).run()
+
+
+@pytest.fixture(scope="session")
+def ft_report(ft_cluster) -> ServetReport:
+    backend = SimulatedBackend(ft_cluster, seed=42)
+    return ServetSuite(backend).run()

@@ -1,0 +1,47 @@
+"""Integration: reproducibility guarantees.
+
+Every benchmark result in this repository is seed-deterministic: same
+seed, same report — bit for bit through JSON.  This is what makes the
+EXPERIMENTS.md numbers reproducible on any machine.
+"""
+
+import json
+
+from repro import ServetSuite, SimulatedBackend, dempsey, finis_terrae_node
+
+
+def run_report(build, seed):
+    backend = SimulatedBackend(build(), seed=seed)
+    report = ServetSuite(backend).run()
+    data = report.to_dict()
+    # Wall-clock timings legitimately differ between runs.
+    data["timings"] = {k: [v[0]] for k, v in data["timings"].items()}
+    return data
+
+
+def test_same_seed_same_report():
+    a = run_report(dempsey, seed=7)
+    b = run_report(dempsey, seed=7)
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def test_different_seeds_differ_in_measurements_not_structure():
+    a = run_report(finis_terrae_node, seed=1)
+    b = run_report(finis_terrae_node, seed=2)
+    # Structure identical...
+    assert [c["size"] for c in a["caches"]] == [c["size"] for c in b["caches"]]
+    assert len(a["memory_levels"]) == len(b["memory_levels"])
+    assert len(a["comm_layers"]) == len(b["comm_layers"])
+    # ...raw measurements not (noise and placements differ).
+    assert a["memory_reference"] != b["memory_reference"]
+
+
+def test_report_json_stable_through_load_save(tmp_path):
+    from repro.core.report import ServetReport
+
+    backend = SimulatedBackend(dempsey(), seed=3)
+    report = ServetSuite(backend).run()
+    p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+    report.save(p1)
+    ServetReport.load(p1).save(p2)
+    assert p1.read_text() == p2.read_text()

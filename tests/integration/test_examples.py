@@ -1,0 +1,67 @@
+"""Integration: every shipped example must run to completion."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=EXAMPLES,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Cache hierarchy" in out
+    assert "cores sharing L2 with core 0: [0, 12]" in out
+
+
+def test_autotune_tiling():
+    out = run_example("autotune_tiling.py")
+    assert "traffic reduction" in out
+    assert "dempsey" in out and "athlon_3200" in out
+
+
+def test_cluster_survey():
+    out = run_example("cluster_survey.py")
+    for name in ("athlon_3200", "dempsey", "dunnington", "finis_terrae"):
+        assert name in out
+    assert "OK" in out
+
+
+def test_process_placement():
+    out = run_example("process_placement.py")
+    assert "servet-optimized" in out
+    assert "halo exchange" in out
+
+
+def test_collective_tuning():
+    out = run_example("collective_tuning.py")
+    assert "autotuner chose" in out
+    assert "hierarchical" in out
+
+
+def test_custom_machine():
+    out = run_example("custom_machine.py")
+    assert "MATCH the description" in out
+    assert "TLB entries detected: 256" in out
+
+
+@pytest.mark.slow
+def test_native_probe_smoke():
+    # Real timings on the host: only assert it completes and prints a
+    # curve; the calibration note says accuracy is not expected.
+    out = run_example("native_probe.py")
+    assert "native mcalibrator curve" in out

@@ -1,0 +1,130 @@
+"""Integration: the full suite reproduces the paper's Section IV results.
+
+Uses the session-scoped reports from conftest (seed 42); the figures'
+qualitative content is asserted exactly:
+
+- Fig. 8a: Dunnington core 0 shares L2 with core 12, L3 with
+  {1, 2, 12, 13, 14}; Fig. 8b: Finis Terrae all private.
+- Fig. 9a: Dunnington uniform pair overhead; Finis Terrae bus < cell <
+  reference with the right groups.
+- Fig. 10a: Dunnington 3 layers; Finis Terrae intra ~2x faster than
+  inter-node.
+- Fig. 10b: ~7x slowdown for 32 concurrent InfiniBand messages.
+- Table I: per-phase virtual execution times in the paper's regime.
+"""
+
+import pytest
+
+from repro.core.report import ServetReport
+from repro.units import KiB, MiB
+
+
+class TestDunningtonReport:
+    def test_cache_sizes(self, dunnington_report):
+        assert dunnington_report.cache_sizes == [32 * KiB, 3 * MiB, 12 * MiB]
+
+    def test_fig8a_l2_partner_is_core_12(self, dunnington_report):
+        assert dunnington_report.cache_sharing_group(0, 2) == [0, 12]
+
+    def test_fig8a_l3_group(self, dunnington_report):
+        assert dunnington_report.cache_sharing_group(0, 3) == [0, 1, 2, 12, 13, 14]
+
+    def test_fig9a_uniform_memory_overhead(self, dunnington_report):
+        assert len(dunnington_report.memory_levels) == 1
+        level = dunnington_report.memory_levels[0]
+        assert level.groups == [list(range(24))]
+        assert level.bandwidth < dunnington_report.memory_reference
+
+    def test_fig10a_three_layers(self, dunnington_report):
+        assert [len(l.pairs) for l in dunnington_report.comm_layers] == [
+            12,
+            48,
+            216,
+        ]
+
+    def test_fig10c_bandwidth_orders_match_layer_speed(self, dunnington_report):
+        # At a mid-size message the faster layer achieves more bandwidth.
+        layers = dunnington_report.comm_layers
+        bw = []
+        for layer in layers:
+            point = [b for s, _, b in layer.characterization if s == 64 * KiB]
+            bw.append(point[0])
+        assert bw[0] > bw[1] > bw[2]
+
+    def test_table1_times_in_paper_regime(self, dunnington_report):
+        minutes = {
+            name: v / 60.0 for name, (v, _) in dunnington_report.timings.items()
+        }
+        # Paper Table I (Dunnington): 2' / 11' / 20' / 22'.
+        assert 1 <= minutes["cache_size"] <= 6
+        assert 5 <= minutes["shared_caches"] <= 20
+        assert 10 <= minutes["memory_overhead"] <= 30
+        assert 10 <= minutes["communication_costs"] <= 35
+
+    def test_json_roundtrip_of_real_report(self, dunnington_report, tmp_path):
+        path = tmp_path / "dn.json"
+        dunnington_report.save(path)
+        assert ServetReport.load(path) == dunnington_report
+
+
+class TestFinisTerraeReport:
+    def test_cache_sizes(self, ft_report):
+        assert ft_report.cache_sizes == [16 * KiB, 256 * KiB, 9 * MiB]
+
+    def test_fig8b_all_private(self, ft_report):
+        assert all(c.private for c in ft_report.caches)
+
+    def test_fig9a_bus_and_cell_levels(self, ft_report):
+        assert len(ft_report.memory_levels) == 2
+        bus, cell = ft_report.memory_levels
+        assert bus.bandwidth < cell.bandwidth < ft_report.memory_reference
+        assert bus.groups[0] == [0, 1, 2, 3]
+        assert cell.groups == [list(range(8)), list(range(8, 16))]
+
+    def test_fig9a_cell_is_about_25pct_below_ref(self, ft_report):
+        cell = ft_report.memory_levels[1]
+        loss = 1 - cell.bandwidth / ft_report.memory_reference
+        assert loss == pytest.approx(0.25, abs=0.06)
+
+    def test_fig9b_scalability_curves_decrease(self, ft_report):
+        for level in ft_report.memory_levels:
+            curve = level.scalability
+            assert curve[0] > curve[-1]
+
+    def test_fig10a_two_layers_intra_2x_faster(self, ft_report):
+        assert len(ft_report.comm_layers) == 2
+        intra, inter = ft_report.comm_layers
+        assert len(intra.pairs) == 240 and len(inter.pairs) == 256
+        ratio = inter.latency / intra.latency
+        assert 1.6 < ratio < 2.4
+
+    def test_fig10b_infiniband_7x_at_32_messages(self, ft_report):
+        inter = ft_report.comm_layers[1]
+        n, _, factor = inter.scalability[-1]
+        assert n == 32
+        assert 5.5 < factor < 8.5
+
+    def test_table1_times_in_paper_regime(self, ft_report):
+        minutes = {name: v / 60.0 for name, (v, _) in ft_report.timings.items()}
+        # Paper Table I (Finis Terrae): 2' / 3' / 5' / 33'.
+        assert 1 <= minutes["cache_size"] <= 6
+        assert 2 <= minutes["shared_caches"] <= 10
+        assert 3 <= minutes["memory_overhead"] <= 15
+        assert 20 <= minutes["communication_costs"] <= 45
+
+    def test_probe_size_is_detected_l1(self, ft_report):
+        assert ft_report.comm_probe_size == 16 * KiB
+
+
+class TestReportConsistency:
+    def test_every_comm_pair_appears_once(self, ft_report):
+        seen = [p for layer in ft_report.comm_layers for p in layer.pairs]
+        assert len(seen) == len(set(seen)) == 32 * 31 // 2
+
+    def test_memory_pairs_do_not_overlap(self, ft_report):
+        seen = [p for level in ft_report.memory_levels for p in level.pairs]
+        assert len(seen) == len(set(seen))
+
+    def test_summary_renders(self, dunnington_report, ft_report):
+        assert "dunnington" in dunnington_report.summary()
+        assert "finis_terrae" in ft_report.summary()

@@ -1,0 +1,114 @@
+"""Properties of the max-min fair bandwidth allocator."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim.bandwidth import allocate_bandwidth
+from repro.topology import BandwidthDomain
+
+
+@st.composite
+def random_tree(draw):
+    """A two-level bandwidth tree over 4-12 cores plus random demands."""
+    n_groups = draw(st.integers(1, 4))
+    group_size = draw(st.integers(1, 3))
+    n_cores = n_groups * group_size
+    children = []
+    for g in range(n_groups):
+        cores = frozenset(range(g * group_size, (g + 1) * group_size))
+        cap = draw(st.floats(0.5, 10.0))
+        children.append(BandwidthDomain(f"g{g}", cap, cores))
+    root_cap = draw(st.floats(1.0, 20.0))
+    root = BandwidthDomain(
+        "root", root_cap, frozenset(range(n_cores)), tuple(children)
+    )
+    active = draw(
+        st.lists(st.integers(0, n_cores - 1), min_size=1, max_size=n_cores, unique=True)
+    )
+    demands = {c: draw(st.floats(0.1, 5.0)) for c in active}
+    return root, demands
+
+
+@given(random_tree())
+@settings(max_examples=80, deadline=None)
+def test_capacities_and_demands_respected(tree):
+    root, demands = tree
+    alloc = allocate_bandwidth(root, demands)
+    assert set(alloc) == set(demands)
+    for core, bw in alloc.items():
+        assert 0.0 <= bw <= demands[core] + 1e-9
+    for domain in root.walk():
+        used = sum(alloc.get(c, 0.0) for c in domain.cores)
+        assert used <= domain.capacity + 1e-6
+
+
+@given(random_tree())
+@settings(max_examples=80, deadline=None)
+def test_pareto_efficiency(tree):
+    """No core can be starved while every constraint on its path has
+    slack (otherwise the fill would have continued)."""
+    root, demands = tree
+    alloc = allocate_bandwidth(root, demands)
+    for core, bw in alloc.items():
+        if bw >= demands[core] - 1e-9:
+            continue  # satisfied
+        path = root.domains_of(core)
+        saturated = any(
+            sum(alloc.get(c, 0.0) for c in d.cores) >= d.capacity - 1e-6
+            for d in path
+        )
+        assert saturated, f"core {core} starved with slack everywhere"
+
+
+@given(random_tree())
+@settings(max_examples=60, deadline=None)
+def test_max_min_fairness(tree):
+    """If core a got strictly less than core b, then a must be demand-
+    limited or share a saturated domain where b is no better off."""
+    root, demands = tree
+    alloc = allocate_bandwidth(root, demands)
+    for a in alloc:
+        if alloc[a] >= demands[a] - 1e-9:
+            continue
+        # a is constraint-limited: every core in some saturated domain
+        # of a's path must have allocation <= alloc[a] + eps, unless
+        # itself demand-limited below that.
+        path = [
+            d
+            for d in root.domains_of(a)
+            if sum(alloc.get(c, 0.0) for c in d.cores) >= d.capacity - 1e-6
+        ]
+        assert path
+        tightest = path[-1]
+        for other in tightest.cores:
+            if other not in alloc or other == a:
+                continue
+            assert (
+                alloc[other] <= alloc[a] + 1e-6
+                or alloc[other] >= demands[other] - 1e-9
+            )
+
+
+@given(random_tree(), st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_deterministic(tree, _salt):
+    root, demands = tree
+    assert allocate_bandwidth(root, demands) == allocate_bandwidth(root, demands)
+
+
+@given(random_tree())
+@settings(max_examples=60, deadline=None)
+def test_adding_a_core_never_helps_existing(tree):
+    """Activating one more core can only shrink (or keep) the others'
+    allocations — contention is monotone."""
+    root, demands = tree
+    inactive = sorted(set(range(len(root.cores))) - set(demands))
+    if not inactive:
+        return
+    before = allocate_bandwidth(root, demands)
+    bigger = dict(demands)
+    bigger[inactive[0]] = 1.0
+    after = allocate_bandwidth(root, bigger)
+    for core in demands:
+        assert after[core] <= before[core] + 1e-6

@@ -1,0 +1,109 @@
+"""Property: cache detection is correct on *random* machines.
+
+The paper validates on four fixed machines; here hypothesis generates
+random-but-realistic two-level hierarchies (valid geometry, adequately
+separated sizes, set counts a power of two) and requires the full
+Fig. 4 pipeline to recover both sizes from measurements alone.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import SimulatedBackend
+from repro.core.cache_size import detect_caches
+from repro.topology import generic_smp
+from repro.units import KiB, MiB
+
+
+@st.composite
+def random_hierarchy(draw):
+    """(l1_size, l1_ways, l2_size, l2_ways) with valid geometry."""
+    l1_size = draw(st.sampled_from([8 * KiB, 16 * KiB, 32 * KiB, 64 * KiB]))
+    l1_ways = draw(st.sampled_from([2, 4, 8]))
+    # L2: between 256KB and 8MB, at least 8x the L1, and geometry such
+    # that the set count is a power of two and >= 1 page color exists.
+    l2_choices = []
+    for size in (256 * KiB, 512 * KiB, 1 * MiB, 2 * MiB, 3 * MiB, 4 * MiB,
+                 6 * MiB, 8 * MiB):
+        if size < 8 * l1_size:
+            continue
+        for ways in (4, 8, 12, 16, 24):
+            sets = size // (ways * 64)
+            if sets * ways * 64 != size or sets & (sets - 1):
+                continue
+            if size % (ways * 4 * KiB) != 0:
+                continue  # need whole page colors
+            l2_choices.append((size, ways))
+    size2, ways2 = draw(st.sampled_from(sorted(l2_choices)))
+    return l1_size, l1_ways, size2, ways2
+
+
+@given(random_hierarchy(), st.integers(0, 50))
+@settings(max_examples=25, deadline=None)
+def test_two_level_random_machines_detected(hierarchy, seed):
+    l1_size, l1_ways, l2_size, l2_ways = hierarchy
+    machine = generic_smp(
+        name="random-smp",
+        n_cores=2,
+        levels=[
+            (l1_size, l1_ways, 1, 3.0),
+            (l2_size, l2_ways, 1, 18.0),
+        ],
+        mem_latency=280.0,
+    )
+    backend = SimulatedBackend(machine, seed=seed)
+    result = detect_caches(backend)
+    assert len(result.sizes) == 2, (hierarchy, seed)
+    got_l1, got_l2 = result.sizes
+    assert got_l1 == l1_size, (hierarchy, seed)
+    if l2_size < 4 * MiB:
+        assert got_l2 == l2_size, (hierarchy, seed)
+    else:
+        # At the top of the 256KB candidate grid (4% resolution at
+        # 6MB+), an occasional placement draw lands one step off; the
+        # paper-machine validation (tests/integration) stays exact.
+        assert abs(got_l2 - l2_size) <= 256 * KiB, (hierarchy, seed)
+
+
+@given(
+    st.sampled_from([16 * KiB, 32 * KiB]),
+    st.sampled_from([(2 * MiB, 8), (4 * MiB, 16)]),
+    st.sampled_from([(8 * MiB, 16), (12 * MiB, 24), (16 * MiB, 16)]),
+    st.integers(0, 20),
+)
+@settings(max_examples=15, deadline=None)
+def test_three_level_random_machines_detected(l1_size, l2, l3, seed):
+    l2_size, l2_ways = l2
+    l3_size, l3_ways = l3
+    if l3_size <= 2 * l2_size:
+        return  # too close for distinct gradient regions at +-noise
+    machine = generic_smp(
+        name="random-3lvl",
+        n_cores=2,
+        levels=[
+            (l1_size, 8, 1, 3.0),
+            (l2_size, l2_ways, 1, 14.0),
+            (l3_size, l3_ways, 2, 45.0),
+        ],
+        mem_latency=300.0,
+    )
+    backend = SimulatedBackend(machine, seed=seed)
+    result = detect_caches(backend)
+    assert len(result.sizes) == 3, ((l1_size, l2, l3), seed)
+    got_l1, got_l2, got_l3 = result.sizes
+    assert got_l1 == l1_size
+    assert got_l3 == l3_size, ((l1_size, l2, l3), seed)
+    if l3_size >= 6 * l2_size:
+        assert got_l2 == l2_size, ((l1_size, l2, l3), seed)
+    else:
+        # With < 6x separation the L2 and L3 conflict smears overlap:
+        # the L2 analysis window is clipped before its all-miss plateau
+        # and the estimate may wobble by up to ~12% (a regime the
+        # paper's machines never enter — their narrowest separation is
+        # 4x, Dunnington's 3MB -> 12MB, where both windows still reach
+        # their plateaus thanks to the L3's width).
+        assert abs(got_l2 - l2_size) <= max(256 * KiB, l2_size // 8), (
+            (l1_size, l2, l3),
+            seed,
+        )

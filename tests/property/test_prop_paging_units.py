@@ -1,0 +1,65 @@
+"""Properties of page placement policies and the unit helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.probabilistic import predicted_miss_rate
+from repro.memsim.paging import ColoredPaging, ContiguousPaging, RandomPaging
+from repro.units import format_size, parse_size
+
+
+@given(
+    st.sampled_from([RandomPaging, ContiguousPaging]),
+    st.integers(1, 2000),
+    st.integers(0, 2**20),
+)
+@settings(max_examples=60, deadline=None)
+def test_policies_produce_distinct_valid_frames(policy_cls, n_pages, seed):
+    policy = policy_cls(physical_pages=1 << 14)
+    if n_pages > policy.physical_pages:
+        return
+    frames = policy.place(n_pages, np.random.default_rng(seed))
+    assert len(frames) == n_pages
+    assert len(np.unique(frames)) == n_pages
+    assert frames.min() >= 0 and frames.max() < policy.physical_pages
+
+
+@given(st.sampled_from([2, 4, 8, 16, 32]), st.integers(1, 500), st.integers(0, 999))
+@settings(max_examples=60, deadline=None)
+def test_colored_paging_always_preserves_color(n_colors, n_pages, seed):
+    policy = ColoredPaging(n_colors=n_colors, physical_pages=1 << 15)
+    frames = policy.place(n_pages, np.random.default_rng(seed))
+    assert np.array_equal(frames % n_colors, np.arange(n_pages) % n_colors)
+
+
+@given(st.integers(1, 10_000), st.sampled_from([2, 4, 8, 16]), st.sampled_from([8, 16, 32, 64, 128]))
+@settings(max_examples=100, deadline=None)
+def test_predicted_miss_rate_bounds_and_monotonicity(n_pages, ways, colors):
+    p = 1.0 / colors
+    mr = predicted_miss_rate(np.array([n_pages, n_pages + 100]), ways, p)
+    assert 0.0 <= mr[0] <= 1.0
+    assert mr[1] >= mr[0] - 1e-12  # more pages, never fewer conflicts
+
+
+@given(st.integers(1, 50_000), st.sampled_from([2, 4, 8]))
+@settings(max_examples=50, deadline=None)
+def test_size_biased_dominates_paper_formula(n_pages, ways):
+    pages = np.array([float(n_pages)])
+    biased = predicted_miss_rate(pages, ways, 1 / 32, size_biased=True)[0]
+    paper = predicted_miss_rate(pages, ways, 1 / 32, size_biased=False)[0]
+    assert biased >= paper - 1e-12
+
+
+@given(st.integers(1, 1 << 40))
+@settings(max_examples=200, deadline=None)
+def test_format_parse_size_roundtrip_on_round_values(nbytes):
+    # Round to something format_size renders exactly, then round-trip.
+    text = format_size(nbytes)
+    # Only assert for exact renderings (no precision loss markers).
+    if any(ch in text for ch in ("e", "E")) or "." in text and len(text.split(".")[1].rstrip("KMGB/s")) > 3:
+        return
+    reparsed = parse_size(text) if text[-1] != "B" or text[-2:] in ("KB", "MB", "GB") else parse_size(text)
+    # format_size may round to 4 significant digits; accept 0.1% error.
+    assert abs(reparsed - nbytes) <= max(1, nbytes * 2e-3)

@@ -1,0 +1,113 @@
+"""Property: ServetReport JSON round-trips for arbitrary content."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.report import (
+    CacheLevelReport,
+    CommLayerReport,
+    MemoryLevelReport,
+    ServetReport,
+)
+
+pairs = st.lists(
+    st.tuples(st.integers(0, 63), st.integers(0, 63))
+    .filter(lambda p: p[0] != p[1])
+    .map(lambda p: (min(p), max(p))),
+    max_size=10,
+    unique=True,
+)
+
+positive = st.floats(1e-9, 1e12, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def cache_reports(draw):
+    return CacheLevelReport(
+        level=draw(st.integers(1, 4)),
+        size=draw(st.integers(1024, 1 << 26)),
+        method=draw(st.sampled_from(["l1-peak", "positional", "probabilistic"])),
+        shared_pairs=draw(pairs),
+        sharing_groups=draw(
+            st.lists(st.lists(st.integers(0, 63), min_size=1, max_size=6), max_size=4)
+        ),
+        ways=draw(st.one_of(st.none(), st.integers(1, 32))),
+    )
+
+
+@st.composite
+def memory_reports(draw):
+    return MemoryLevelReport(
+        bandwidth=draw(positive),
+        pairs=draw(pairs),
+        groups=draw(
+            st.lists(st.lists(st.integers(0, 63), min_size=1, max_size=8), max_size=4)
+        ),
+        scalability=draw(st.lists(positive, max_size=8)),
+    )
+
+
+@st.composite
+def comm_reports(draw, index):
+    return CommLayerReport(
+        index=index,
+        latency=draw(positive),
+        pairs=draw(pairs),
+        characterization=draw(
+            st.lists(
+                st.tuples(st.integers(1, 1 << 24), positive, positive), max_size=8
+            )
+        ),
+        scalability=draw(
+            st.lists(st.tuples(st.integers(2, 64), positive, positive), max_size=6)
+        ),
+    )
+
+
+@st.composite
+def reports(draw):
+    n_layers = draw(st.integers(0, 3))
+    return ServetReport(
+        system=draw(st.text(min_size=1, max_size=20)),
+        n_cores=draw(st.integers(1, 64)),
+        page_size=draw(st.sampled_from([4096, 8192, 16384])),
+        caches=draw(st.lists(cache_reports(), max_size=4)),
+        memory_reference=draw(positive),
+        memory_levels=draw(st.lists(memory_reports(), max_size=3)),
+        comm_probe_size=draw(st.integers(0, 1 << 20)),
+        comm_layers=[draw(comm_reports(i)) for i in range(n_layers)],
+        tlb_entries=draw(st.one_of(st.none(), st.integers(1, 1 << 16))),
+        timings=draw(
+            st.dictionaries(
+                st.sampled_from(["cache_size", "shared_caches", "x"]),
+                st.tuples(positive, positive),
+                max_size=3,
+            )
+        ),
+    )
+
+
+@given(reports())
+@settings(max_examples=60, deadline=None)
+def test_dict_roundtrip(report):
+    assert ServetReport.from_dict(report.to_dict()) == report
+
+
+@given(reports())
+@settings(max_examples=30, deadline=None)
+def test_file_roundtrip(report):
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "r.json"
+        report.save(path)
+        assert ServetReport.load(path) == report
+
+
+@given(reports())
+@settings(max_examples=30, deadline=None)
+def test_summary_never_crashes(report):
+    text = report.summary()
+    assert report.system.splitlines()[0] in text or len(text) > 0

@@ -1,0 +1,107 @@
+"""Properties of the discrete-event message-passing runtime."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim import default_comm_config
+from repro.simmpi import World
+from repro.topology import Cluster, dunnington
+
+
+def make_world(n_ranks: int) -> World:
+    cluster = Cluster("dunnington", dunnington())
+    return World(cluster, default_comm_config(cluster), list(range(n_ranks)))
+
+
+@given(
+    n_ranks=st.integers(2, 8),
+    edges=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_random_send_recv_patterns_complete(n_ranks, edges):
+    """Any DAG-ordered message pattern must complete without deadlock
+    and conserve message counts."""
+    n_messages = edges.draw(st.integers(0, 12))
+    msgs = []
+    for k in range(n_messages):
+        src = edges.draw(st.integers(0, n_ranks - 1), label=f"src{k}")
+        dst = edges.draw(
+            st.integers(0, n_ranks - 1).filter(lambda d: d != src), label=f"dst{k}"
+        )
+        size = edges.draw(st.sampled_from([64, 4096, 128 * 1024]), label=f"sz{k}")
+        msgs.append((src, dst, size, k))
+
+    world = make_world(n_ranks)
+
+    def program(rank):
+        # Sends in global order, then receives: with eager and
+        # rendezvous mixed, ordering sends before receives per rank is
+        # deadlock-free only if we interleave; so emit in global-k order
+        # with matching tags, receives posted as wildcards afterwards.
+        my_sends = [m for m in msgs if m[0] == rank.id]
+        my_recvs = [m for m in msgs if m[1] == rank.id]
+        for src, dst, size, k in my_sends:
+            yield rank.send(dst, size, tag=k)
+        for _ in my_recvs:
+            yield rank.recv()
+
+    world.spawn_all(program)
+    # Rendezvous sends block, so a cycle of large sends could deadlock;
+    # keep the test honest by ensuring the eager threshold covers all.
+    if any(size > 64 * 1024 for _, _, size, _ in msgs):
+        # Large messages use rendezvous: mutual large sends can truly
+        # deadlock (as in real MPI).  Skip those patterns.
+        return
+    result = world.run()
+    assert result.messages == len(msgs)
+    assert result.bytes_sent == sum(m[2] for m in msgs)
+    assert all(t >= 0 for t in result.finish_times.values())
+
+
+@given(n_ranks=st.integers(2, 8), nbytes=st.sampled_from([64, 1024, 16384]))
+@settings(max_examples=40, deadline=None)
+def test_ring_makespan_positive_and_bounded(n_ranks, nbytes):
+    world = make_world(n_ranks)
+
+    def ring(rank):
+        right = (rank.id + 1) % rank.size
+        left = (rank.id - 1) % rank.size
+        yield rank.send(right, nbytes, tag=rank.id)
+        yield rank.recv(left, tag=left)
+
+    world.spawn_all(ring)
+    result = world.run()
+    assert result.messages == n_ranks
+    # The ring is fully parallel: makespan is far below the serial sum.
+    per_msg = max(result.finish_times.values())
+    assert result.makespan <= per_msg * 2
+
+
+@given(n_ranks=st.integers(2, 6), seed=st.integers(0, 99))
+@settings(max_examples=30, deadline=None)
+def test_virtual_time_never_regresses(n_ranks, seed):
+    """Each rank observes a non-decreasing clock across its own steps."""
+    import random
+
+    world = make_world(n_ranks)
+    observed: dict[int, list[float]] = {r: [] for r in range(n_ranks)}
+
+    def prog(rank):
+        rnd = random.Random(seed + rank.id)
+        partner = rank.id ^ 1  # pairs (0,1), (2,3), ...
+        for step in range(3):
+            observed[rank.id].append(rank.now)
+            yield rank.compute(rnd.random() * 1e-6)
+            if partner < rank.size:
+                if rank.id % 2 == 0:
+                    yield rank.send(partner, 128, tag=step)
+                else:
+                    yield rank.recv(partner, tag=step)
+        observed[rank.id].append(rank.now)
+
+    world.spawn_all(prog)
+    result = world.run()
+    for clocks in observed.values():
+        assert clocks == sorted(clocks)
+    assert result.makespan >= max(max(c) for c in observed.values()) - 1e-12

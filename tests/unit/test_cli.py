@@ -1,0 +1,51 @@
+"""Unit tests for the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_machines_lists_all(capsys):
+    assert main(["machines"]) == 0
+    out = capsys.readouterr().out
+    for name in ("dunnington", "finis_terrae", "dempsey", "athlon_3200"):
+        assert name in out
+
+
+def test_run_writes_report(tmp_path, capsys):
+    path = tmp_path / "report.json"
+    assert main(["run", "--machine", "dempsey", "-o", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert data["system"] == "dempsey"
+    assert [c["size"] for c in data["caches"]] == [16384, 2097152]
+    out = capsys.readouterr().out
+    assert "Cache hierarchy" in out
+
+
+def test_run_unknown_machine_fails_cleanly(capsys):
+    assert main(["run", "--machine", "cray-1"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_report_roundtrip(tmp_path, capsys):
+    path = tmp_path / "report.json"
+    main(["run", "--machine", "athlon_3200", "-o", str(path)])
+    capsys.readouterr()
+    assert main(["report", str(path)]) == 0
+    assert "athlon_3200" in capsys.readouterr().out
+
+
+def test_advise(tmp_path, capsys):
+    path = tmp_path / "report.json"
+    main(["run", "--machine", "dempsey", "-o", str(path)])
+    capsys.readouterr()
+    assert main(["advise", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "matmul tile for L1" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,73 @@
+"""Unit tests for value clustering and pair-group inference."""
+
+import pytest
+
+from repro.core.clustering import SimilarityCluster, cluster_similar, groups_from_pairs
+from repro.errors import DetectionError
+
+
+class TestClusterSimilar:
+    def test_paper_example_two_latency_groups(self):
+        items = [("a", 10.0), ("b", 10.5), ("c", 20.0), ("d", 19.5)]
+        clusters = cluster_similar(items, rel_tol=0.15)
+        assert len(clusters) == 2
+        assert sorted(clusters[0].members) == ["a", "b"]
+        assert sorted(clusters[1].members) == ["c", "d"]
+
+    def test_sorted_ascending_by_value(self):
+        items = [("slow", 100.0), ("fast", 1.0)]
+        clusters = cluster_similar(items, rel_tol=0.1)
+        assert [c.members[0] for c in clusters] == ["fast", "slow"]
+
+    def test_representative_is_running_mean(self):
+        clusters = cluster_similar([("a", 10.0), ("b", 12.0)], rel_tol=0.5)
+        assert len(clusters) == 1
+        assert clusters[0].value == pytest.approx(11.0)
+
+    def test_zero_tolerance_only_merges_exact(self):
+        clusters = cluster_similar([("a", 1.0), ("b", 1.0), ("c", 1.1)], rel_tol=0.0)
+        assert len(clusters) == 2
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(DetectionError):
+            cluster_similar([("a", 1.0)], rel_tol=-0.1)
+
+    def test_empty_input(self):
+        assert cluster_similar([], rel_tol=0.1) == []
+
+    def test_greedy_first_match_semantics(self):
+        # 1.0 founds c0; 1.2 is outside 10% of 1.0 -> founds c1; then
+        # 1.09 joins whichever it matches FIRST (c0, founded earlier).
+        clusters = cluster_similar(
+            [("a", 1.0), ("b", 1.2), ("c", 1.09)], rel_tol=0.10
+        )
+        by_member = {m: i for i, c in enumerate(clusters) for m in c.members}
+        assert by_member["c"] == by_member["a"]
+
+
+class TestSimilarityCluster:
+    def test_matches_relative_window(self):
+        cluster = SimilarityCluster(value=100.0)
+        cluster.add("x", 100.0)
+        assert cluster.matches(109.0, 0.1)
+        assert not cluster.matches(111.0, 0.1)
+
+
+class TestGroupsFromPairs:
+    def test_paper_example(self):
+        groups = groups_from_pairs([(0, 1), (0, 2), (3, 4), (3, 5)])
+        assert groups == [[0, 1, 2], [3, 4, 5]]
+
+    def test_chain_merges_transitively(self):
+        assert groups_from_pairs([(1, 2), (2, 3), (3, 4)]) == [[1, 2, 3, 4]]
+
+    def test_empty(self):
+        assert groups_from_pairs([]) == []
+
+    def test_order_independent(self):
+        a = groups_from_pairs([(5, 3), (1, 5), (2, 4)])
+        b = groups_from_pairs([(2, 4), (3, 5), (5, 1)])
+        assert a == b == [[1, 3, 5], [2, 4]]
+
+    def test_duplicate_pairs_harmless(self):
+        assert groups_from_pairs([(0, 1), (0, 1), (1, 0)]) == [[0, 1]]

@@ -1,0 +1,100 @@
+"""Unit tests for the mcalibrator driver (Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import SimulatedBackend
+from repro.core.mcalibrator import (
+    McalibratorResult,
+    default_sizes,
+    run_mcalibrator,
+)
+from repro.errors import MeasurementError
+from repro.topology import dempsey
+from repro.units import KiB, MiB
+
+
+class TestDefaultSizes:
+    def test_doubles_then_linear(self):
+        sizes = default_sizes(1 * KiB, 5 * MiB)
+        assert sizes[:3] == [1 * KiB, 2 * KiB, 4 * KiB]
+        assert 2 * MiB in sizes
+        tail = [s for s in sizes if s >= 2 * MiB]
+        assert tail == [2 * MiB, 3 * MiB, 4 * MiB, 5 * MiB]
+
+    def test_every_cache_size_of_the_paper_is_probed(self):
+        sizes = set(default_sizes())
+        for cs in (16 * KiB, 32 * KiB, 64 * KiB, 512 * KiB, 2 * MiB, 3 * MiB,
+                   9 * MiB, 12 * MiB, 256 * KiB):
+            assert cs in sizes
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(MeasurementError):
+            default_sizes(4 * MiB, 1 * MiB)
+
+
+class TestMcalibratorResult:
+    def test_gradients_definition(self):
+        res = McalibratorResult(
+            sizes=np.array([1, 2, 4]), cycles=np.array([2.0, 4.0, 4.0]),
+            stride=1024, core=0,
+        )
+        assert list(res.gradients) == [2.0, 1.0]
+
+    def test_slice(self):
+        res = McalibratorResult(
+            sizes=np.array([1, 2, 4, 8]),
+            cycles=np.array([1.0, 2.0, 3.0, 4.0]),
+            stride=1024,
+            core=0,
+        )
+        sub = res.slice(1, 3)
+        assert list(sub.sizes) == [2, 4]
+
+    def test_table_rows(self):
+        res = McalibratorResult(
+            sizes=np.array([1024, 2048]), cycles=np.array([3.0, 6.0]),
+            stride=1024, core=0,
+        )
+        rows = res.table()
+        assert rows[0][0] == "1KB"
+        assert rows[0][2] == pytest.approx(2.0)
+        assert np.isnan(rows[1][2])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(MeasurementError):
+            McalibratorResult(
+                sizes=np.array([1, 2]), cycles=np.array([1.0]), stride=1024, core=0
+            )
+
+    def test_rejects_unsorted_sizes(self):
+        with pytest.raises(MeasurementError):
+            McalibratorResult(
+                sizes=np.array([2, 1]), cycles=np.array([1.0, 1.0]),
+                stride=1024, core=0,
+            )
+
+
+class TestRunMcalibrator:
+    def test_curve_is_roughly_monotone(self):
+        backend = SimulatedBackend(dempsey(), seed=0)
+        res = run_mcalibrator(backend, max_cache=8 * MiB, samples=2)
+        # Plateaus plus rises: the final plateau must dominate the first.
+        assert res.cycles[-1] > 10 * res.cycles[0]
+
+    def test_l1_cliff_visible_at_16kb(self):
+        backend = SimulatedBackend(dempsey(), seed=0)
+        res = run_mcalibrator(backend, max_cache=64 * KiB, samples=2)
+        idx = list(res.sizes).index(16 * KiB)
+        assert res.gradients[idx] > 3.0
+
+    def test_rejects_zero_samples(self):
+        backend = SimulatedBackend(dempsey(), seed=0)
+        with pytest.raises(MeasurementError):
+            run_mcalibrator(backend, samples=0)
+
+    def test_charges_virtual_time(self):
+        backend = SimulatedBackend(dempsey(), seed=0)
+        backend.take_virtual_time()
+        run_mcalibrator(backend, max_cache=64 * KiB, samples=1)
+        assert backend.virtual_time > 0

@@ -1,0 +1,87 @@
+"""Unit tests for memory-overhead characterization (Fig. 6)."""
+
+import pytest
+
+from repro.backends import SimulatedBackend
+from repro.core.memory_overhead import (
+    characterize_memory_overhead,
+    memory_scalability,
+)
+from repro.errors import MeasurementError
+from repro.topology import dunnington, finis_terrae_node
+
+
+@pytest.fixture(scope="module")
+def ft_result():
+    backend = SimulatedBackend(finis_terrae_node(), seed=42)
+    return characterize_memory_overhead(backend)
+
+
+class TestFinisTerrae:
+    def test_two_overhead_levels(self, ft_result):
+        assert ft_result.n_levels == 2
+
+    def test_levels_sorted_worst_first(self, ft_result):
+        assert ft_result.levels[0].bandwidth < ft_result.levels[1].bandwidth
+
+    def test_bus_groups(self, ft_result):
+        assert ft_result.levels[0].groups == [
+            [0, 1, 2, 3],
+            [4, 5, 6, 7],
+            [8, 9, 10, 11],
+            [12, 13, 14, 15],
+        ]
+
+    def test_cell_groups(self, ft_result):
+        assert ft_result.levels[1].groups == [
+            [0, 1, 2, 3, 4, 5, 6, 7],
+            [8, 9, 10, 11, 12, 13, 14, 15],
+        ]
+
+    def test_cell_level_pairs_do_not_duplicate_bus_pairs(self, ft_result):
+        bus_pairs = set(ft_result.levels[0].pairs)
+        cell_pairs = set(ft_result.levels[1].pairs)
+        assert not bus_pairs & cell_pairs
+
+    def test_cross_cell_pairs_have_no_overhead(self, ft_result):
+        assert ft_result.overhead_level_of((0, 8)) is None
+        assert ft_result.overhead_level_of((0, 1)) == 0
+        assert ft_result.overhead_level_of((0, 4)) == 1
+
+    def test_cell_bandwidth_is_25pct_below_reference(self, ft_result):
+        loss = 1 - ft_result.levels[1].bandwidth / ft_result.reference
+        assert loss == pytest.approx(0.25, abs=0.05)
+
+    def test_scalability_recorded_per_level(self, ft_result):
+        assert len(ft_result.scalability) == 2
+        bus_curve = ft_result.scalability[0]
+        assert len(bus_curve) == 4  # group of 4 cores
+        assert bus_curve[0] > bus_curve[-1]  # adding cores costs bandwidth
+
+
+class TestDunnington:
+    def test_single_uniform_level(self):
+        backend = SimulatedBackend(dunnington(), seed=7)
+        result = characterize_memory_overhead(backend)
+        assert result.n_levels == 1
+        assert len(result.levels[0].pairs) == 24 * 23 // 2
+        assert result.levels[0].groups == [list(range(24))]
+
+
+class TestScalability:
+    def test_curve_monotone(self):
+        backend = SimulatedBackend(finis_terrae_node(), seed=3)
+        curve = memory_scalability(backend, [0, 1, 2, 3])
+        # Noise allows tiny wiggles; the trend must be decreasing.
+        assert curve[0] > curve[-1] * 1.5
+
+    def test_rejects_empty_group(self):
+        backend = SimulatedBackend(finis_terrae_node(), seed=3)
+        with pytest.raises(MeasurementError):
+            memory_scalability(backend, [])
+
+
+def test_reference_core_must_be_included():
+    backend = SimulatedBackend(finis_terrae_node(), seed=3)
+    with pytest.raises(MeasurementError):
+        characterize_memory_overhead(backend, cores=[1, 2], reference_core=0)

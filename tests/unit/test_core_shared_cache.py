@@ -1,0 +1,76 @@
+"""Unit tests for shared-cache detection (Fig. 5)."""
+
+import pytest
+
+from repro.backends import SimulatedBackend
+from repro.core.shared_cache import detect_shared_caches
+from repro.errors import MeasurementError
+from repro.topology import athlon_3200, dunnington, generic_smp
+from repro.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def dunnington_result():
+    backend = SimulatedBackend(dunnington(), seed=42)
+    return detect_shared_caches(backend, [32 * KiB, 3 * MiB, 12 * MiB])
+
+
+class TestDunnington(object):
+    def test_l1_private(self, dunnington_result):
+        assert dunnington_result.shared_pairs[0] == []
+
+    def test_l2_pairs_follow_os_numbering(self, dunnington_result):
+        assert dunnington_result.shared_pairs[1] == [
+            (c, c + 12) for c in range(12)
+        ]
+
+    def test_l3_groups_are_hexacore_sockets(self, dunnington_result):
+        assert dunnington_result.sharing_group(0, 3) == [0, 1, 2, 12, 13, 14]
+        assert dunnington_result.sharing_group(3, 3) == [3, 4, 5, 15, 16, 17]
+
+    def test_l2_pair_also_detected_at_l3(self, dunnington_result):
+        # Fig. 8a: core 12 shows a high ratio at the L3 level too.
+        assert (0, 12) in dunnington_result.shared_pairs[2]
+
+    def test_ratios_separate_cleanly(self, dunnington_result):
+        ratios = dunnington_result.ratios[1]  # L2 level
+        shared = [r for p, r in ratios.items() if p[1] == p[0] + 12]
+        private = [r for p, r in ratios.items() if p[1] != p[0] + 12]
+        assert min(shared) > 2.0
+        assert max(private) < 2.0
+
+    def test_references_recorded(self, dunnington_result):
+        assert len(dunnington_result.references) == 3
+        assert all(r > 0 for r in dunnington_result.references)
+
+
+def test_unicore_machine_shares_nothing():
+    backend = SimulatedBackend(athlon_3200(), seed=0)
+    result = detect_shared_caches(backend, [64 * KiB, 512 * KiB])
+    assert result.shared_pairs == [[], []]
+
+
+def test_shared_l1_is_detected():
+    # A hypothetical SMT-style machine where two cores share the L1.
+    machine = generic_smp(
+        n_cores=4,
+        levels=[("32KB", 8, 2, 3.0), ("4MB", 8, 4, 20.0)],
+    )
+    backend = SimulatedBackend(machine, seed=0)
+    result = detect_shared_caches(backend, [32 * KiB, 4 * MiB])
+    assert (0, 1) in result.shared_pairs[0]
+    assert (0, 2) not in result.shared_pairs[0]
+
+
+def test_subset_of_cores():
+    backend = SimulatedBackend(dunnington(), seed=1)
+    result = detect_shared_caches(
+        backend, [3 * MiB], cores=[0, 1, 12], reference_core=0
+    )
+    assert result.shared_pairs[0] == [(0, 12)]
+
+
+def test_rejects_empty_levels():
+    backend = SimulatedBackend(dunnington(), seed=0)
+    with pytest.raises(MeasurementError):
+        detect_shared_caches(backend, [])

@@ -1,0 +1,115 @@
+"""Unit tests for the explicit LRU cache simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim.cache import (
+    MultiLevelSimulator,
+    SetAssociativeCache,
+    TraceAccess,
+    interleave_round_robin,
+)
+from repro.topology import generic_smp
+
+
+class TestSetAssociativeCache:
+    def test_hit_after_install(self):
+        cache = SetAssociativeCache(num_sets=4, ways=2)
+        assert cache.access(0, "a") is False
+        assert cache.access(0, "a") is True
+
+    def test_lru_eviction_order(self):
+        cache = SetAssociativeCache(num_sets=1, ways=2)
+        cache.access(0, "a")
+        cache.access(0, "b")
+        cache.access(0, "a")  # refreshes a; b is now LRU
+        cache.access(0, "c")  # evicts b
+        assert cache.contains(0, "a")
+        assert not cache.contains(0, "b")
+        assert cache.contains(0, "c")
+
+    def test_cyclic_thrash_with_ways_plus_one(self):
+        cache = SetAssociativeCache(num_sets=1, ways=2)
+        sequence = ["a", "b", "c"] * 5
+        hits = [cache.access(0, key) for key in sequence]
+        assert not any(hits)  # the classic LRU pathology
+
+    def test_cyclic_all_hits_within_ways(self):
+        cache = SetAssociativeCache(num_sets=1, ways=3)
+        sequence = ["a", "b", "c"] * 3
+        hits = [cache.access(0, key) for key in sequence]
+        assert hits[3:] == [True] * 6
+
+    def test_set_indices_wrap(self):
+        cache = SetAssociativeCache(num_sets=4, ways=1)
+        cache.access(6, "x")
+        assert cache.contains(2, "x")
+
+    def test_occupancy_and_flush(self):
+        cache = SetAssociativeCache(num_sets=2, ways=2)
+        cache.access(0, "a")
+        cache.access(0, "b")
+        assert cache.occupancy(0) == 2
+        cache.flush()
+        assert cache.occupancy(0) == 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(num_sets=0, ways=1)
+
+
+class TestMultiLevelSimulator:
+    def machine(self):
+        return generic_smp(
+            n_cores=2,
+            levels=[("4KB", 2, 1, 3.0), ("16KB", 4, 2, 10.0)],
+            mem_latency=100.0,
+        )
+
+    def test_first_access_costs_full_miss(self):
+        sim = MultiLevelSimulator(self.machine())
+        cycles, hit_level = sim.access(TraceAccess(core=0, vline=0, pline=0))
+        assert hit_level is None
+        assert cycles == 3.0 + 10.0 + 100.0
+
+    def test_second_access_hits_l1(self):
+        sim = MultiLevelSimulator(self.machine())
+        sim.access(TraceAccess(0, 0, 0))
+        cycles, hit_level = sim.access(TraceAccess(0, 0, 0))
+        assert hit_level == 1
+        assert cycles == 3.0
+
+    def test_distinct_cores_do_not_alias_in_shared_l2(self):
+        sim = MultiLevelSimulator(self.machine())
+        sim.access(TraceAccess(0, 7, 7))
+        cycles, hit_level = sim.access(TraceAccess(1, 7, 7))
+        # Same line numbers but different cores: the shared L2 keeps
+        # both as distinct lines, so this is a cold miss.
+        assert hit_level is None
+
+    def test_run_measures_only_last_round(self):
+        sim = MultiLevelSimulator(self.machine())
+        trace = [TraceAccess(0, i, i) for i in range(2)]
+        outcome = sim.run(trace, rounds=3, measure_last_round_only=True)
+        assert outcome.accesses[0] == 2
+        assert outcome.per_level[0].miss_rate == 0.0  # warm by round 3
+        assert outcome.cycles_per_access[0] == 3.0
+
+
+def test_interleave_round_robin_equal_lengths():
+    a = [TraceAccess(0, i, i) for i in range(3)]
+    b = [TraceAccess(1, i, i) for i in range(3)]
+    merged = interleave_round_robin([a, b])
+    assert [t.core for t in merged] == [0, 1, 0, 1, 0, 1]
+
+
+def test_interleave_round_robin_unequal_lengths_cycles_shorter():
+    a = [TraceAccess(0, i, i) for i in range(4)]
+    b = [TraceAccess(1, 0, 0)]
+    merged = interleave_round_robin([a, b])
+    assert len(merged) == 8
+    assert all(t.vline == 0 for t in merged if t.core == 1)
+
+
+def test_interleave_empty():
+    assert interleave_round_robin([]) == []

@@ -1,0 +1,93 @@
+"""Unit tests for :mod:`repro.memsim.paging`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.memsim.paging import (
+    AddressSpace,
+    ColoredPaging,
+    ContiguousPaging,
+    RandomPaging,
+)
+from repro.units import KiB
+
+
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestRandomPaging:
+    def test_places_distinct_pages(self):
+        pages = RandomPaging(physical_pages=4096).place(1000, rng())
+        assert len(np.unique(pages)) == 1000
+        assert pages.min() >= 0 and pages.max() < 4096
+
+    def test_rejects_overcommit(self):
+        with pytest.raises(SimulationError):
+            RandomPaging(physical_pages=10).place(11, rng())
+
+    def test_rejects_zero_pages(self):
+        with pytest.raises(SimulationError):
+            RandomPaging().place(0, rng())
+
+    def test_uniformity_over_colors(self):
+        # Chi-square-ish sanity: 64 colors, many pages, no color starved.
+        pages = RandomPaging(physical_pages=1 << 20).place(6400, rng())
+        counts = np.bincount(pages % 64, minlength=64)
+        assert counts.min() > 50  # mean is 100
+
+    def test_invalid_physical_pages(self):
+        with pytest.raises(ConfigurationError):
+            RandomPaging(physical_pages=0)
+
+
+class TestColoredPaging:
+    def test_preserves_virtual_color(self):
+        policy = ColoredPaging(n_colors=16, physical_pages=1 << 16)
+        pages = policy.place(640, rng())
+        vcolors = np.arange(640) % 16
+        assert np.array_equal(pages % 16, vcolors)
+        assert len(np.unique(pages)) == 640
+
+    def test_rejects_bad_color_count(self):
+        with pytest.raises(ConfigurationError):
+            ColoredPaging(n_colors=7, physical_pages=1 << 16)  # must divide
+
+
+class TestContiguousPaging:
+    def test_contiguity(self):
+        pages = ContiguousPaging(physical_pages=1 << 16).place(100, rng())
+        assert np.array_equal(np.diff(pages), np.ones(99, dtype=np.int64))
+
+
+class TestAddressSpace:
+    def test_physical_lines_follow_page_table(self):
+        space = AddressSpace(4 * KiB, ContiguousPaging(), 8 * KiB, rng())
+        base = space.page_table[0]
+        lines = space.physical_lines(np.array([0, 64, 4096]), 64)
+        assert lines[0] == base * 64
+        assert lines[1] == base * 64 + 1
+        assert lines[2] == (base + 1) * 64
+
+    def test_virtual_lines(self):
+        space = AddressSpace(4 * KiB, RandomPaging(), 8 * KiB, rng())
+        assert list(space.virtual_lines(np.array([0, 63, 64, 1024]), 64)) == [
+            0,
+            0,
+            1,
+            16,
+        ]
+
+    def test_rejects_out_of_range_addresses(self):
+        space = AddressSpace(4 * KiB, RandomPaging(), 4 * KiB, rng())
+        with pytest.raises(SimulationError):
+            space.physical_lines(np.array([4096]), 64)
+
+    def test_rejects_non_power_of_two_page(self):
+        with pytest.raises(ConfigurationError):
+            AddressSpace(3000, RandomPaging(), 8 * KiB, rng())
+
+    def test_page_count_rounds_up(self):
+        space = AddressSpace(4 * KiB, RandomPaging(), 5 * KiB, rng())
+        assert space.n_pages == 2

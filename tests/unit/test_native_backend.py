@@ -1,0 +1,68 @@
+"""Smoke tests for the best-effort native backend.
+
+The calibration note (repro band 2) says native accuracy is not
+expected — these tests only pin the *interface contract*: measurements
+complete, return positive values of the right shape, and account
+virtual time.  Kept fast via tiny sizes.
+"""
+
+import pytest
+
+from repro.backends import NativeBackend
+from repro.errors import MeasurementError
+from repro.units import KiB
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return NativeBackend(repeats=2)
+
+
+class TestNativeTraversal:
+    def test_single_core(self, backend):
+        out = backend.traversal_cycles([(0, 64 * KiB)], 1024)
+        assert set(out) == {0}
+        assert out[0] > 0
+
+    def test_concurrent_cores(self, backend):
+        cores = [0, min(1, backend.n_cores - 1)]
+        if cores[0] == cores[1]:
+            pytest.skip("single-core host")
+        out = backend.traversal_cycles(
+            [(cores[0], 64 * KiB), (cores[1], 64 * KiB)], 1024
+        )
+        assert set(out) == set(cores)
+
+    def test_rejects_unaligned_stride(self, backend):
+        with pytest.raises(MeasurementError):
+            backend.traversal_cycles([(0, 64 * KiB)], 1001)
+
+    def test_charges_virtual_time(self, backend):
+        backend.take_virtual_time()
+        backend.traversal_cycles([(0, 32 * KiB)], 1024)
+        assert backend.take_virtual_time() > 0
+
+
+class TestNativeBandwidth:
+    def test_single_core_positive(self, backend):
+        out = backend.copy_bandwidth([0])
+        assert out[0] > 1e6  # anything slower than 1MB/s is a bug
+
+
+class TestNativeMessages:
+    def test_pingpong_latency_positive(self, backend):
+        peer = min(1, backend.n_cores - 1)
+        latency = backend.message_latency(0, peer, 4 * KiB)
+        assert 0 < latency < 1.0  # sane bounds for an IPC ping-pong
+
+    def test_concurrent_latency_fields(self, backend):
+        peer = min(1, backend.n_cores - 1)
+        result = backend.concurrent_message_latency([(0, peer)], 1 * KiB)
+        assert result.worst >= result.mean > 0
+
+
+def test_metadata():
+    backend = NativeBackend()
+    assert backend.n_cores >= 1
+    assert backend.page_size >= 512
+    assert backend.name.startswith("native")

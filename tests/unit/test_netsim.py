@@ -1,0 +1,134 @@
+"""Unit tests for :mod:`repro.netsim`."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.netsim import LayerParams, CommConfig, default_comm_config, true_layers
+from repro.topology import Cluster, dunnington, finis_terrae, generic_smp
+from repro.units import KiB, MiB
+
+
+def layer(**kw):
+    defaults = dict(
+        name="test",
+        base_latency=1e-6,
+        bandwidth=1e9,
+        eager_threshold=64 * KiB,
+        rendezvous_latency=5e-7,
+        contention_factor=0.1,
+    )
+    defaults.update(kw)
+    return LayerParams(**defaults)
+
+
+class TestLayerParams:
+    def test_latency_is_affine_in_size(self):
+        p = layer()
+        t1 = p.latency(1000)
+        t2 = p.latency(2000)
+        assert t2 - t1 == pytest.approx(1000 / 1e9)
+
+    def test_zero_byte_latency_is_base(self):
+        assert layer().latency(0) == pytest.approx(1e-6)
+
+    def test_rendezvous_switch_adds_handshake(self):
+        p = layer()
+        below = p.latency(64 * KiB)
+        above = p.latency(64 * KiB + 1)
+        assert above - below == pytest.approx(5e-7 + 1 / 1e9)
+
+    def test_cache_spill_reduces_bandwidth(self):
+        p = layer(cache_capacity=1 * MiB, mem_bandwidth=0.5e9)
+        assert p.effective_bandwidth(1 * MiB) == 1e9
+        assert p.effective_bandwidth(1 * MiB + 1) == 0.5e9
+
+    def test_contention_inflates_transfer_only(self):
+        p = layer()
+        t1 = p.latency(10_000, concurrency=1)
+        t4 = p.latency(10_000, concurrency=4)
+        transfer = 10_000 / 1e9
+        assert t4 - t1 == pytest.approx(transfer * 0.1 * 3)
+
+    def test_point_to_point_bandwidth(self):
+        p = layer()
+        nbytes = 1 * MiB
+        assert p.point_to_point_bandwidth(nbytes) == pytest.approx(
+            nbytes / p.latency(nbytes)
+        )
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(MeasurementError):
+            layer().latency(-1)
+
+    def test_rejects_zero_concurrency(self):
+        with pytest.raises(MeasurementError):
+            layer().latency(100, concurrency=0)
+
+    def test_rejects_mismatched_spill_params(self):
+        with pytest.raises(ConfigurationError):
+            layer(cache_capacity=1 * MiB)  # no mem_bandwidth
+
+
+class TestCommConfig:
+    def test_lookup_by_relationship(self):
+        config = CommConfig({"same-node": layer(name="same-node")})
+        assert config.params_for_relationship("same-node").name == "same-node"
+        with pytest.raises(ConfigurationError):
+            config.params_for_relationship("inter-node")
+
+    def test_validate_against_detects_missing(self):
+        ft = finis_terrae(2)
+        config = CommConfig({"same-node": layer()})
+        with pytest.raises(ConfigurationError):
+            config.validate_against(ft)
+
+
+class TestPresets:
+    def test_dunnington_has_three_layers(self):
+        dn = Cluster("dunnington", dunnington())
+        config = default_comm_config(dn)
+        assert set(config.layers) == {"shared-l2", "shared-l3", "same-node"}
+        # Ordering: closer sharing must be faster at the probe size.
+        probe = 32 * KiB
+        t = {k: config.layers[k].latency(probe) for k in config.layers}
+        assert t["shared-l2"] < t["shared-l3"] < t["same-node"]
+
+    def test_finis_terrae_intra_layers_cost_identically(self):
+        ft = finis_terrae(2)
+        config = default_comm_config(ft)
+        probe = 16 * KiB
+        assert config.layers["same-cell"].latency(probe) == pytest.approx(
+            config.layers["same-node"].latency(probe)
+        )
+        # ...and inter-node is about 2x slower (paper Fig. 10a).
+        ratio = config.layers["inter-node"].latency(probe) / config.layers[
+            "same-node"
+        ].latency(probe)
+        assert 1.7 < ratio < 2.3
+
+    def test_generic_fallback_covers_all_relationships(self):
+        m = generic_smp(n_cores=4, levels=[("32KB", 8, 1, 3.0), ("2MB", 8, 2, 15.0)])
+        cluster = Cluster(m.name, m)
+        config = default_comm_config(cluster)
+        config.validate_against(cluster)
+
+
+class TestTrueLayers:
+    def test_dunnington_counts(self):
+        dn = Cluster("dunnington", dunnington())
+        layers = true_layers(dn, default_comm_config(dn))
+        sizes = {name: len(pairs) for name, pairs in layers.items()}
+        assert sizes == {"shared-l2": 12, "shared-l3": 48, "same-node": 216}
+
+    def test_finis_terrae_merges_identical_layers(self):
+        ft = finis_terrae(2)
+        layers = true_layers(ft, default_comm_config(ft))
+        assert set(layers) == {"same-cell|same-node", "inter-node"}
+        assert len(layers["same-cell|same-node"]) == 240
+        assert len(layers["inter-node"]) == 256
+
+    def test_partition_is_complete_and_disjoint(self):
+        ft = finis_terrae(2)
+        layers = true_layers(ft, default_comm_config(ft))
+        everything = [p for pairs in layers.values() for p in pairs]
+        assert len(everything) == len(set(everything)) == 32 * 31 // 2

@@ -1,0 +1,109 @@
+"""Unit tests for machine/cluster JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim import TLBSpec
+from repro.netsim import default_comm_config
+from repro.topology import (
+    Cluster,
+    athlon_3200,
+    cluster_from_dict,
+    cluster_to_dict,
+    dempsey,
+    dunnington,
+    finis_terrae,
+    finis_terrae_node,
+    generic_smp,
+    load_cluster,
+    machine_from_dict,
+    machine_to_dict,
+    save_cluster,
+)
+from repro.topology.serialization import (
+    comm_config_from_dict,
+    comm_config_to_dict,
+)
+
+
+@pytest.mark.parametrize(
+    "build", [dunnington, finis_terrae_node, dempsey, athlon_3200]
+)
+def test_machine_roundtrip(build):
+    machine = build()
+    assert machine_from_dict(machine_to_dict(machine)) == machine
+
+
+def test_machine_with_tlb_roundtrip():
+    machine = generic_smp(
+        n_cores=2,
+        levels=[("32KB", 8, 1, 3.0), ("2MB", 8, 1, 18.0)],
+        tlb=TLBSpec(entries=128, ways=4, walk_cycles=35.0),
+    )
+    clone = machine_from_dict(machine_to_dict(machine))
+    assert clone.tlb == machine.tlb
+
+
+def test_cluster_roundtrip_with_comm(tmp_path):
+    cluster = finis_terrae(3)
+    comm = default_comm_config(cluster)
+    path = tmp_path / "cluster.json"
+    save_cluster(cluster, path, comm=comm)
+    loaded, loaded_comm = load_cluster(path)
+    assert loaded == cluster
+    assert loaded_comm is not None
+    assert loaded_comm.layers == comm.layers
+
+
+def test_cluster_roundtrip_without_comm():
+    cluster = Cluster("dn", dunnington())
+    clone, comm = cluster_from_dict(cluster_to_dict(cluster))
+    assert clone == cluster
+    assert comm is None
+
+
+def test_comm_config_roundtrip():
+    comm = default_comm_config(finis_terrae(2))
+    assert comm_config_from_dict(comm_config_to_dict(comm)).layers == comm.layers
+
+
+def test_json_is_plain_data(tmp_path):
+    path = tmp_path / "m.json"
+    save_cluster(Cluster("dn", dunnington()), path)
+    data = json.loads(path.read_text())
+    assert data["node"]["n_cores"] == 24
+    assert data["node"]["levels"][1]["groups"][0] == [0, 12]
+
+
+def test_malformed_machine_raises():
+    with pytest.raises(ConfigurationError):
+        machine_from_dict({"name": "broken"})
+
+
+def test_malformed_cluster_raises():
+    with pytest.raises(ConfigurationError):
+        cluster_from_dict({"name": "broken", "node": {}})
+
+
+def test_loaded_machine_passes_validation_checks():
+    # Corrupt a valid description and expect the Machine validators to
+    # reject it (serialization must not bypass them).
+    data = machine_to_dict(dunnington())
+    data["levels"][0]["groups"][0] = [0, 1]  # overlaps group [1]
+    with pytest.raises(ConfigurationError):
+        machine_from_dict(data)
+
+
+def test_cli_export_and_run_with_machine_file(tmp_path, capsys):
+    from repro.cli import main
+
+    desc = tmp_path / "machine.json"
+    assert main(["export-machine", "dempsey", "-o", str(desc)]) == 0
+    capsys.readouterr()
+    report_path = tmp_path / "report.json"
+    assert main(["run", "--machine-file", str(desc), "-o", str(report_path)]) == 0
+    out = capsys.readouterr().out
+    assert "dempsey" in out
+    assert report_path.exists()

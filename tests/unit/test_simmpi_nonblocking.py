@@ -1,0 +1,186 @@
+"""Unit tests for the nonblocking primitives (isend/irecv/wait)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim import default_comm_config
+from repro.simmpi import World
+from repro.simmpi.collectives import alltoall
+from repro.topology import Cluster, dunnington
+from repro.units import MiB
+
+
+def make_world(n=2):
+    cluster = Cluster("dunnington", dunnington())
+    return World(cluster, default_comm_config(cluster), list(range(n)))
+
+
+class TestIsend:
+    def test_returns_handle_immediately(self):
+        world = make_world()
+        observed = {}
+
+        def sender(rank):
+            handle = yield rank.isend(1, 10 * MiB)  # rendezvous-sized
+            observed["t_after_isend"] = rank.now
+            observed["done_at_isend"] = handle.done
+            yield rank.wait(handle)
+            observed["t_after_wait"] = rank.now
+
+        def receiver(rank):
+            yield rank.compute(1.0)
+            yield rank.recv(0)
+
+        world.add_process(sender, 0)
+        world.add_process(receiver, 1)
+        world.run()
+        assert observed["t_after_isend"] < 1e-6  # did not block
+        assert not observed["done_at_isend"]
+        assert observed["t_after_wait"] >= 1.0  # wait blocked to transfer end
+
+    def test_eager_isend_completes_instantly(self):
+        world = make_world()
+        observed = {}
+
+        def sender(rank):
+            handle = yield rank.isend(1, 1024)
+            observed["done"] = handle.done
+            yield rank.wait(handle)
+            observed["t"] = rank.now
+
+        def receiver(rank):
+            yield rank.compute(0.5)
+            yield rank.recv(0)
+
+        world.add_process(sender, 0)
+        world.add_process(receiver, 1)
+        world.run()
+        assert observed["done"] is True
+        assert observed["t"] < 1e-6
+
+    def test_overlap_compute_with_transfer(self):
+        world = make_world()
+        finish = {}
+
+        def sender(rank):
+            handle = yield rank.isend(1, 10 * MiB)
+            yield rank.compute(5e-3)  # overlaps the transfer
+            yield rank.wait(handle)
+            finish["sender"] = rank.now
+
+        def receiver(rank):
+            yield rank.recv(0)
+            finish["receiver"] = rank.now
+
+        world.add_process(sender, 0)
+        world.add_process(receiver, 1)
+        world.run()
+        transfer = finish["receiver"]
+        # Sender finishes at max(compute, transfer), not at their sum.
+        assert finish["sender"] == pytest.approx(max(5e-3, transfer), rel=1e-6)
+
+
+class TestIrecv:
+    def test_resolves_with_source_and_size(self):
+        world = make_world()
+        got = {}
+
+        def sender(rank):
+            yield rank.compute(1e-4)
+            yield rank.send(1, 2048, tag=5)
+
+        def receiver(rank):
+            handle = yield rank.irecv(0, tag=5)
+            assert not handle.done
+            got["value"] = yield rank.wait(handle)
+
+        world.add_process(sender, 0)
+        world.add_process(receiver, 1)
+        world.run()
+        assert got["value"] == (0, 2048)
+
+    def test_irecv_matches_unexpected_eager_message(self):
+        world = make_world()
+        got = {}
+
+        def sender(rank):
+            yield rank.send(1, 512, tag=1)
+
+        def receiver(rank):
+            yield rank.compute(1e-3)  # message arrives before the post
+            handle = yield rank.irecv(0, tag=1)
+            got["value"] = yield rank.wait(handle)
+
+        world.add_process(sender, 0)
+        world.add_process(receiver, 1)
+        world.run()
+        assert got["value"] == (0, 512)
+
+    def test_wait_after_completion_is_instant(self):
+        world = make_world()
+
+        def sender(rank):
+            yield rank.send(1, 128, tag=2)
+
+        def receiver(rank):
+            handle = yield rank.irecv(0, tag=2)
+            yield rank.compute(1e-3)  # completes in the background
+            value = yield rank.wait(handle)
+            assert value == (0, 128)
+            assert rank.now >= 1e-3
+
+        world.add_process(sender, 0)
+        world.add_process(receiver, 1)
+        world.run()
+
+    def test_two_waiters_on_one_handle_rejected(self):
+        world = make_world(3)
+        shared = {}
+
+        def owner(rank):
+            handle = yield rank.irecv(0)
+            shared["h"] = handle
+            yield rank.wait(handle)
+
+        def freeloader(rank):
+            yield rank.compute(1e-6)  # let the owner post first
+            yield rank.wait(shared["h"])
+
+        def idle(rank):
+            yield rank.compute(0.0)
+
+        world.add_process(owner, 1)
+        world.add_process(freeloader, 2)
+        world.add_process(idle, 0)
+        with pytest.raises(SimulationError, match="waiting on one handle"):
+            world.run()
+
+    def test_wait_requires_a_handle(self):
+        world = make_world()
+
+        def bad(rank):
+            yield rank.wait("nope")  # type: ignore[arg-type]
+
+        def idle(rank):
+            yield rank.compute(0.0)
+
+        world.add_process(bad, 0)
+        world.add_process(idle, 1)
+        with pytest.raises(SimulationError):
+            world.run()
+
+
+class TestRendezvousAlltoall:
+    @pytest.mark.parametrize("n", [3, 5, 6])
+    def test_non_power_of_two_rendezvous_completes(self, n):
+        """The pre-posted irecv keeps the ring-shift schedule alive even
+        when every message uses the rendezvous protocol."""
+        cluster = Cluster("dunnington", dunnington())
+        world = World(cluster, default_comm_config(cluster), list(range(n)))
+
+        def prog(rank):
+            yield from alltoall(rank, 2 * MiB)  # rendezvous-sized
+
+        world.spawn_all(prog)
+        result = world.run()
+        assert result.messages == n * (n - 1)

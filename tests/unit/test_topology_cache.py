@@ -1,0 +1,81 @@
+"""Unit tests for :mod:`repro.topology.cache`."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.cache import (
+    CacheLevel,
+    CacheSpec,
+    Indexing,
+    grouped,
+    private_groups,
+)
+from repro.units import KiB, MiB
+
+
+def l1(size=32 * KiB, ways=8, **kw):
+    return CacheSpec(1, size, ways=ways, indexing=Indexing.VIRTUAL, **kw)
+
+
+class TestCacheSpec:
+    def test_basic_derived_quantities(self):
+        spec = CacheSpec(2, 3 * MiB, ways=12)
+        assert spec.num_sets == 4096
+        assert spec.num_lines == 3 * MiB // 64
+        assert spec.page_colors(4 * KiB) == 64
+
+    def test_page_colors_small_cache_clamps_to_one(self):
+        spec = CacheSpec(1, 16 * KiB, ways=8, line_size=64)
+        assert spec.page_colors(4 * KiB) == 1  # 16K/(8*4K) < 1
+
+    def test_page_colors_rejects_bad_page_size(self):
+        with pytest.raises(ConfigurationError):
+            l1().page_colors(100)  # not a multiple of the line size
+
+    def test_rejects_size_not_divisible(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(1, 10000, ways=8)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(3, 12 * MiB, ways=16)  # 12288 sets
+
+    def test_rejects_level_zero(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(0, 32 * KiB, ways=8)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(1, 32 * KiB, ways=8, latency=-1.0)
+
+    def test_describe_mentions_key_facts(self):
+        text = CacheSpec(2, 3 * MiB, ways=12).describe()
+        assert "L2" in text and "3MB" in text and "12-way" in text
+
+
+class TestCacheLevel:
+    def test_private_groups_cover_each_core_alone(self):
+        level = CacheLevel(l1(), private_groups(4))
+        assert level.cores == frozenset(range(4))
+        for c in range(4):
+            assert level.group_of(c) == frozenset((c,))
+        assert not level.shared_by(0, 1)
+
+    def test_shared_groups(self):
+        level = CacheLevel(CacheSpec(2, 3 * MiB, ways=12), grouped([[0, 2], [1, 3]]))
+        assert level.shared_by(0, 2)
+        assert not level.shared_by(0, 1)
+        assert level.instance_index(3) == 1
+
+    def test_rejects_overlapping_groups(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevel(l1(), grouped([[0, 1], [1, 2]]))
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevel(l1(), (frozenset(),))
+
+    def test_group_of_unknown_core_raises(self):
+        level = CacheLevel(l1(), private_groups(2))
+        with pytest.raises(ConfigurationError):
+            level.group_of(5)

@@ -1,0 +1,147 @@
+"""Unit tests for :mod:`repro.topology.machine`."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology import (
+    BandwidthDomain,
+    Cluster,
+    dunnington,
+    finis_terrae,
+    finis_terrae_node,
+    generic_smp,
+)
+from repro.topology.machine import all_pairs, make_pair, partition_by
+
+
+class TestPairs:
+    def test_make_pair_normalizes(self):
+        assert make_pair(3, 1) == (1, 3)
+
+    def test_make_pair_rejects_self(self):
+        with pytest.raises(ConfigurationError):
+            make_pair(2, 2)
+
+    def test_all_pairs_count_and_order(self):
+        pairs = all_pairs([2, 0, 1])
+        assert pairs == [(0, 1), (0, 2), (1, 2)]
+
+    def test_partition_by(self):
+        assert partition_by(range(4), 2) == (
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+        )
+        with pytest.raises(ConfigurationError):
+            partition_by(range(5), 2)
+
+
+class TestBandwidthDomain:
+    def test_rejects_child_outside_parent(self):
+        child = BandwidthDomain("c", 1.0, frozenset({5}))
+        with pytest.raises(ConfigurationError):
+            BandwidthDomain("p", 2.0, frozenset({0, 1}), (child,))
+
+    def test_rejects_overlapping_children(self):
+        c1 = BandwidthDomain("a", 1.0, frozenset({0}))
+        c2 = BandwidthDomain("b", 1.0, frozenset({0}))
+        with pytest.raises(ConfigurationError):
+            BandwidthDomain("p", 2.0, frozenset({0, 1}), (c1, c2))
+
+    def test_domains_of_returns_root_path(self):
+        ft = finis_terrae_node()
+        path = ft.bandwidth_root.domains_of(0)
+        assert [d.name for d in path] == ["node", "cell0", "bus0"]
+        path15 = ft.bandwidth_root.domains_of(15)
+        assert [d.name for d in path15] == ["node", "cell1", "bus3"]
+
+    def test_walk_visits_all(self):
+        ft = finis_terrae_node()
+        names = [d.name for d in ft.bandwidth_root.walk()]
+        assert len(names) == 1 + 2 + 4
+
+
+class TestMachineValidation:
+    def test_generic_smp_is_valid(self):
+        m = generic_smp(n_cores=8, levels=[("32KB", 8, 1, 3.0), ("4MB", 8, 4, 15.0)])
+        assert m.n_cores == 8
+        assert m.cache_sizes == (32 * 1024, 4 * 1024 * 1024)
+        assert m.level(2).shared_by(0, 3)
+        assert not m.level(2).shared_by(3, 4)
+
+    def test_levels_must_increase_in_size(self):
+        with pytest.raises(ConfigurationError):
+            generic_smp(levels=[("32KB", 8, 1, 3.0), ("32KB", 8, 1, 10.0)])
+
+    def test_shared_by_must_divide_cores(self):
+        with pytest.raises(ConfigurationError):
+            generic_smp(n_cores=4, levels=[("32KB", 8, 3, 3.0)])
+
+    def test_closest_shared_level_picks_minimum(self):
+        m = dunnington()
+        assert m.closest_shared_level(0, 12) == 2  # shares both L2 and L3
+        assert m.closest_shared_level(0, 1) == 3
+        assert m.closest_shared_level(0, 3) is None
+
+    def test_shared_level_pairs(self):
+        m = dunnington()
+        l2_pairs = m.shared_level_pairs(2)
+        assert (0, 12) in l2_pairs and len(l2_pairs) == 12
+        l3_pairs = m.shared_level_pairs(3)
+        assert len(l3_pairs) == 4 * 15  # C(6,2) per socket
+
+
+class TestCluster:
+    def test_global_local_mapping_roundtrip(self):
+        ft = finis_terrae(3)
+        assert ft.n_cores == 48
+        for core in (0, 15, 16, 47):
+            node, local = ft.node_of(core), ft.local_core(core)
+            assert ft.global_core(node, local) == core
+
+    def test_out_of_range_rejected(self):
+        ft = finis_terrae(2)
+        with pytest.raises(ConfigurationError):
+            ft.node_of(32)
+        with pytest.raises(ConfigurationError):
+            ft.global_core(2, 0)
+
+    def test_relationships_finis_terrae(self):
+        ft = finis_terrae(2)
+        assert ft.relationship(0, 1) == "same-cell"
+        assert ft.relationship(0, 8) == "same-node"
+        assert ft.relationship(0, 16) == "inter-node"
+        assert ft.relationships() == {"same-cell", "same-node", "inter-node"}
+
+    def test_relationships_dunnington_single_cell(self):
+        dn = Cluster("dunnington", dunnington())
+        assert dn.relationship(0, 12) == "shared-l2"
+        assert dn.relationship(0, 1) == "shared-l3"
+        # One-cell machine: no distinct "same-cell" relationship.
+        assert dn.relationship(0, 3) == "same-node"
+        assert dn.relationships() == {"shared-l2", "shared-l3", "same-node"}
+
+    def test_relationship_rejects_self(self):
+        dn = Cluster("dunnington", dunnington())
+        with pytest.raises(ConfigurationError):
+            dn.relationship(4, 4)
+
+
+class TestBuilders:
+    def test_dunnington_matches_paper_description(self):
+        m = dunnington()
+        assert m.n_cores == 24
+        assert m.cache_sizes == (32 * 1024, 3 * 1024**2, 12 * 1024**2)
+        # Fig. 8a: core 0 shares L2 with core 12, L3 with {1,2,12,13,14}.
+        assert m.level(2).group_of(0) == frozenset({0, 12})
+        assert m.level(3).group_of(0) == frozenset({0, 1, 2, 12, 13, 14})
+
+    def test_finis_terrae_matches_paper_description(self):
+        m = finis_terrae_node()
+        assert m.n_cores == 16
+        assert m.cache_sizes == (16 * 1024, 256 * 1024, 9 * 1024**2)
+        assert all(len(g) == 1 for lvl in m.levels for g in lvl.groups)
+        assert len(m.cells) == 2 and len(m.processors) == 8
+
+    def test_summary_smoke(self):
+        text = dunnington().summary()
+        assert "dunnington" in text and "24 cores" in text

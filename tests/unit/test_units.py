@@ -1,0 +1,102 @@
+"""Unit tests for :mod:`repro.units`."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bandwidth,
+    format_size,
+    format_time,
+    is_power_of_two,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_integer_passthrough(self):
+        assert parse_size(512) == 512
+
+    def test_bare_number_string(self):
+        assert parse_size("512") == 512
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1KB", KiB),
+            ("32KB", 32 * KiB),
+            ("32kb", 32 * KiB),
+            ("32KiB", 32 * KiB),
+            ("3MB", 3 * MiB),
+            ("1.5MB", 3 * MiB // 2),
+            ("2G", 2 * GiB),
+            ("64b", 64),
+            (" 12 MB ", 12 * MiB),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "abc", "12XB", "1..2MB", "-3MB"])
+    def test_rejects_garbage(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_size(text)
+
+    def test_fractional_bytes_round_to_nearest(self):
+        assert parse_size("1.0000001B") == 1
+        assert parse_size("1.001KB") == 1025
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (0, "0B"),
+            (64, "64B"),
+            (KiB, "1KB"),
+            (32 * KiB, "32KB"),
+            (3 * MiB, "3MB"),
+            (3 * MiB // 2, "1.5MB"),
+            (12 * MiB, "12MB"),
+            (2 * GiB, "2GB"),
+        ],
+    )
+    def test_values(self, nbytes, expected):
+        assert format_size(nbytes) == expected
+
+    def test_roundtrip_with_parse(self):
+        for nbytes in (KiB, 16 * KiB, 9 * MiB, 12 * MiB, GiB):
+            assert parse_size(format_size(nbytes)) == nbytes
+
+
+class TestFormatTime:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0.0, "0s"),
+            (5e-9, "5ns"),
+            (2.5e-6, "2.5us"),
+            (1.5e-3, "1.5ms"),
+            (2.0, "2s"),
+            (300.0, "5min"),
+        ],
+    )
+    def test_values(self, seconds, expected):
+        assert format_time(seconds) == expected
+
+    def test_negative(self):
+        assert format_time(-2.5e-6) == "-2.5us"
+
+
+def test_format_bandwidth():
+    assert format_bandwidth(1 * GiB) == "1GB/s"
+
+
+@pytest.mark.parametrize(
+    "n,expected",
+    [(1, True), (2, True), (64, True), (0, False), (-4, False), (12, False)],
+)
+def test_is_power_of_two(n, expected):
+    assert is_power_of_two(n) is expected
