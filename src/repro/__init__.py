@@ -25,6 +25,15 @@ Quickstart::
 from .backends import Backend, NativeBackend, SimulatedBackend
 from .core import ServetReport, ServetSuite
 from .autotune import Advisor
+from .resilience import (
+    FaultInjectingBackend,
+    FaultPlan,
+    HardenedBackend,
+    ResiliencePolicy,
+    RetryPolicy,
+    SamplingPolicy,
+    SuiteCheckpoint,
+)
 from .topology import (
     Cluster,
     Machine,
@@ -47,6 +56,13 @@ __all__ = [
     "ServetReport",
     "ServetSuite",
     "Advisor",
+    "FaultInjectingBackend",
+    "FaultPlan",
+    "HardenedBackend",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "SamplingPolicy",
+    "SuiteCheckpoint",
     "Cluster",
     "Machine",
     "athlon_3200",

@@ -21,6 +21,14 @@ from .autotune import Advisor
 from .backends import SimulatedBackend
 from .core import ServetReport, ServetSuite
 from .errors import ReproError
+from .resilience import (
+    FaultInjectingBackend,
+    FaultPlan,
+    HardenedBackend,
+    ResiliencePolicy,
+    RetryPolicy,
+    SamplingPolicy,
+)
 from .netsim import default_comm_config
 from .topology import (
     Cluster,
@@ -65,6 +73,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "-o", "--output", default=None, help="write the JSON report here"
+    )
+    run.add_argument(
+        "--lenient",
+        action="store_true",
+        help="degrade gracefully on phase failures (record them in the "
+        "report) instead of aborting the run",
+    )
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="serialize partial suite state here after every phase",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint instead of re-measuring finished "
+        "phases",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="harden measurements: retry each up to N times with "
+        "exponential backoff (charged to virtual time)",
+    )
+    run.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="K",
+        help="harden measurements: combine K repeated samples with a "
+        "median (outlier rejection)",
+    )
+    run.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH",
+        help="inject deterministic faults from a JSON fault plan "
+        "(resilience drill; see repro.resilience.FaultPlan)",
     )
 
     rep = sub.add_parser("report", help="pretty-print a stored report")
@@ -125,8 +174,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     backend = SimulatedBackend(
         system, comm_config=comm_config, seed=args.seed, noise=args.noise
     )
-    report = ServetSuite(backend).run()
+    if args.fault_plan is not None:
+        backend = FaultInjectingBackend(backend, FaultPlan.load(args.fault_plan))
+    if args.retries is not None or args.samples is not None:
+        default = ResiliencePolicy.default()
+        policy = ResiliencePolicy(
+            retry=(
+                RetryPolicy(max_attempts=args.retries)
+                if args.retries is not None
+                else default.retry
+            ),
+            sampling=(
+                SamplingPolicy(samples=args.samples)
+                if args.samples is not None
+                else default.sampling
+            ),
+        )
+        backend = HardenedBackend(backend, policy)
+    if args.resume and args.checkpoint is None:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    report = ServetSuite(backend).run(
+        strict=not args.lenient,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
     print(report.summary())
+    if report.degraded:
+        print(
+            "\nWARNING: degraded run — phases "
+            + ", ".join(
+                f"{p}={s}"
+                for p, s in report.phase_status.items()
+                if s != "ok"
+            ),
+            file=sys.stderr,
+        )
     if args.output:
         report.save(args.output)
         print(f"\nreport written to {args.output}")

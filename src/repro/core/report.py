@@ -130,6 +130,37 @@ class ServetReport:
     tlb_entries: int | None = None
     #: benchmark name -> (virtual seconds, wall seconds)
     timings: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: phase name -> ``ok | degraded | failed | skipped`` (empty for
+    #: reports written before the resilience layer existed).
+    phase_status: dict[str, str] = field(default_factory=dict)
+    #: phase name -> captured error message (failed phases only).
+    phase_errors: dict[str, str] = field(default_factory=dict)
+
+    # -- degraded-mode queries ----------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True when any phase was degraded or failed.
+
+        Structurally ``skipped`` phases (e.g. communication on a
+        unicore system) do not taint the run by themselves — their
+        upstream failure, if any, already does.
+        """
+        return any(
+            status in ("degraded", "failed")
+            for status in self.phase_status.values()
+        )
+
+    @property
+    def failed_phases(self) -> list[str]:
+        """Phases that failed outright (their report sections hold
+        fallbacks or are empty)."""
+        return [p for p, s in self.phase_status.items() if s == "failed"]
+
+    def phase_ok(self, name: str) -> bool:
+        """True when ``name`` ran cleanly (unknown phases count as ok,
+        for compatibility with pre-resilience reports)."""
+        return self.phase_status.get(name, "ok") == "ok"
 
     # -- convenience queries (the autotuning API surface) ------------------
 
@@ -235,6 +266,14 @@ class ServetReport:
                     k: (float(v[0]), float(v[1]))
                     for k, v in data.get("timings", {}).items()
                 },
+                phase_status={
+                    str(k): str(v)
+                    for k, v in data.get("phase_status", {}).items()
+                },
+                phase_errors={
+                    str(k): str(v)
+                    for k, v in data.get("phase_errors", {}).items()
+                },
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed report data: {exc}") from exc
@@ -284,6 +323,13 @@ class ServetReport:
                 f"  layer {layer.index}: {format_time(layer.latency)} "
                 f"({len(layer.pairs)} pairs)"
             )
+        if self.degraded:
+            lines.append("Phase status (degraded run):")
+            for phase, status in self.phase_status.items():
+                note = ""
+                if phase in self.phase_errors:
+                    note = f" — {self.phase_errors[phase]}"
+                lines.append(f"  {phase}: {status}{note}")
         if self.timings:
             lines.append("Benchmark execution times (virtual):")
             for name, (virtual, wall) in self.timings.items():

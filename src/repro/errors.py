@@ -29,6 +29,19 @@ class MeasurementError(ReproError):
     """
 
 
+class MeasurementTimeout(MeasurementError):
+    """A measurement exceeded its (virtual-time) deadline.
+
+    Raised by fault injection / hardened backends when a measurement
+    hangs; carries the virtual seconds that were burned waiting so the
+    suite's Table I accounting stays honest.
+    """
+
+    def __init__(self, message: str, waited: float = 0.0) -> None:
+        super().__init__(message)
+        self.waited = waited
+
+
 class DetectionError(ReproError):
     """A Servet detection algorithm could not produce an estimate.
 
@@ -42,4 +55,21 @@ class SimulationError(ReproError):
 
     Examples: deadlock (all processes blocked with no pending events),
     a receive that can never be matched, or time moving backwards.
+    """
+
+
+class WatchdogError(SimulationError):
+    """A simulation watchdog tripped (event budget exhausted).
+
+    Raised instead of spinning forever when a faulty communication
+    model keeps generating events; the message names the stuck ranks
+    and what they are blocked on.
+    """
+
+
+class CheckpointError(ReproError):
+    """A suite checkpoint could not be written, read, or applied.
+
+    Examples: a checkpoint file for a different machine/configuration,
+    an unsupported checkpoint version, or corrupt JSON.
     """

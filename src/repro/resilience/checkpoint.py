@@ -1,0 +1,124 @@
+"""Suite checkpointing: recover a long run without re-measuring.
+
+After each phase :class:`~repro.core.suite.ServetSuite` serializes its
+partial state — the report so far, per-phase status, timings, and the
+backend's RNG state — to a JSON file.  A later ``servet run
+--checkpoint PATH --resume`` (or ``suite.run(checkpoint=..,
+resume=True)``) reloads that file, verifies it belongs to the same
+machine/configuration, restores the RNG, and continues from the first
+phase that has not finished.  Because the RNG state is restored
+exactly, a resumed run produces a byte-identical final report to an
+uninterrupted one (given a deterministic wall clock).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import CheckpointError
+
+__all__ = ["CHECKPOINT_VERSION", "SuiteCheckpoint", "rng_state_of", "restore_rng"]
+
+CHECKPOINT_VERSION = 1
+
+
+def rng_state_of(backend) -> dict | None:
+    """The backend RNG's serializable state, or None if it has none."""
+    rng = getattr(backend, "rng", None)
+    if rng is None:
+        return None
+    try:
+        return rng.bit_generator.state
+    except AttributeError:
+        return None
+
+
+def restore_rng(backend, state: dict | None) -> None:
+    """Restore a state captured by :func:`rng_state_of` (no-op on None)."""
+    if state is None:
+        return
+    rng = getattr(backend, "rng", None)
+    if rng is None:
+        raise CheckpointError("checkpoint has RNG state but backend has no rng")
+    try:
+        rng.bit_generator.state = state
+    except (AttributeError, ValueError) as exc:
+        raise CheckpointError(f"cannot restore RNG state: {exc}") from exc
+
+
+@dataclass
+class SuiteCheckpoint:
+    """Partial suite state, written after every finished phase."""
+
+    #: Identifies the (machine, configuration) the run belongs to.
+    fingerprint: dict
+    #: Phases that reached a terminal status, in execution order.
+    completed: list[str] = field(default_factory=list)
+    #: Phase name -> ``ok | degraded | failed | skipped``.
+    status: dict[str, str] = field(default_factory=dict)
+    #: Phase name -> captured error message (failed phases only).
+    errors: dict[str, str] = field(default_factory=dict)
+    #: ``ServetReport.to_dict()`` of the partial report.
+    report: dict = field(default_factory=dict)
+    #: Phase name -> (virtual seconds, wall seconds).
+    timings: dict = field(default_factory=dict)
+    #: Backend RNG state right after the last completed phase.
+    rng_state: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint,
+            "completed": list(self.completed),
+            "status": dict(self.status),
+            "errors": dict(self.errors),
+            "report": self.report,
+            "timings": {name: list(pair) for name, pair in self.timings.items()},
+            "rng_state": self.rng_state,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SuiteCheckpoint":
+        try:
+            version = int(data["version"])
+            if version != CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    f"unsupported checkpoint version {version} "
+                    f"(expected {CHECKPOINT_VERSION})"
+                )
+            return cls(
+                fingerprint=dict(data["fingerprint"]),
+                completed=[str(name) for name in data["completed"]],
+                status={str(k): str(v) for k, v in data["status"].items()},
+                errors={str(k): str(v) for k, v in data["errors"].items()},
+                report=dict(data["report"]),
+                timings={
+                    str(name): (float(pair[0]), float(pair[1]))
+                    for name, pair in data["timings"].items()
+                },
+                rng_state=data.get("rng_state"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+
+    def save(self, path: str | Path) -> None:
+        """Write atomically (tmp file + rename) so a crash mid-write
+        never leaves a truncated checkpoint behind."""
+        path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2))
+        tmp.replace(path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SuiteCheckpoint":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+    def matches(self, fingerprint: dict) -> bool:
+        """True when the checkpoint belongs to this configuration."""
+        return self.fingerprint == fingerprint

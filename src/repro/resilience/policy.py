@@ -1,0 +1,358 @@
+"""Measurement hardening: retries, validation, robust repeat-sampling.
+
+LIKWID-style measurement tools treat broken counters and timing noise
+as first-class concerns; this module does the same for any
+:class:`~repro.backends.base.Backend`.  :class:`HardenedBackend` wraps
+a backend and gives every measurement call
+
+- **bounded retries** with exponential backoff, charged to *virtual*
+  time (a real campaign pays wall-clock to re-run a benchmark; the
+  simulated one pays its virtual clock, keeping Table I honest);
+- **per-reading validation** — finite, strictly positive, and inside
+  per-channel plausibility bounds;
+- **repeat-sampling with outlier rejection** — take ``k`` validated
+  samples, combine them with a median or trimmed mean, and re-sample
+  (up to a cap) while the relative spread exceeds a gate.
+
+The wrapper also counts every incident (retry, invalid reading, hang,
+re-sample) so :class:`~repro.core.suite.ServetSuite` can mark a phase
+``degraded`` when its result needed fault recovery.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+from ..backends.base import Backend, ConcurrentLatency
+from ..errors import ConfigurationError, MeasurementError, MeasurementTimeout
+from ..topology.machine import CorePair
+
+__all__ = [
+    "ReadingBounds",
+    "RetryPolicy",
+    "SamplingPolicy",
+    "ResiliencePolicy",
+    "HardenedBackend",
+    "relative_spread",
+    "robust_estimate",
+]
+
+
+# -- robust statistics -----------------------------------------------------
+
+
+def relative_spread(values: Sequence[float]) -> float:
+    """``(max - min) / median`` — 0 for constant or single samples."""
+    if len(values) < 2:
+        return 0.0
+    med = robust_estimate(values, estimator="median")
+    if med == 0.0:
+        return math.inf if max(values) > min(values) else 0.0
+    return (max(values) - min(values)) / abs(med)
+
+
+def robust_estimate(
+    values: Sequence[float],
+    estimator: str = "median",
+    trim_fraction: float = 0.2,
+) -> float:
+    """Combine repeated samples into one robust estimate.
+
+    ``median`` survives up to half the samples being outliers;
+    ``trimmed_mean`` drops ``trim_fraction`` of each tail first (falling
+    back to the plain mean when too few samples remain to trim).
+    """
+    if not values:
+        raise MeasurementError("cannot estimate from zero samples")
+    ordered = sorted(values)
+    n = len(ordered)
+    if estimator == "median":
+        mid = n // 2
+        if n % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+    if estimator == "trimmed_mean":
+        k = int(n * trim_fraction)
+        trimmed = ordered[k : n - k] if n - 2 * k >= 1 else ordered
+        return sum(trimmed) / len(trimmed)
+    raise ConfigurationError(
+        f"unknown estimator {estimator!r}; expected 'median' or 'trimmed_mean'"
+    )
+
+
+# -- policy knobs ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff (virtual seconds)."""
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ConfigurationError("invalid backoff parameters")
+
+    def backoff(self, retry_index: int) -> float:
+        """Virtual seconds to wait before retry number ``retry_index``
+        (0-based)."""
+        return self.backoff_base * self.backoff_factor**retry_index
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """Repeat-sampling with a relative-spread gate."""
+
+    #: Baseline number of validated samples per measurement.
+    samples: int = 1
+    #: ``median`` or ``trimmed_mean``.
+    estimator: str = "median"
+    trim_fraction: float = 0.2
+    #: Re-sample while any reading's relative spread exceeds this
+    #: (``None`` disables the gate).
+    spread_gate: float | None = 0.25
+    #: Cap on gate-triggered extra samples.
+    max_extra_samples: int = 2
+
+    def __post_init__(self) -> None:
+        if self.samples < 1:
+            raise ConfigurationError("samples must be >= 1")
+        if not 0.0 <= self.trim_fraction < 0.5:
+            raise ConfigurationError("trim_fraction must be in [0, 0.5)")
+        if self.spread_gate is not None and self.spread_gate <= 0:
+            raise ConfigurationError("spread_gate must be > 0 (or None)")
+        if self.max_extra_samples < 0:
+            raise ConfigurationError("max_extra_samples must be >= 0")
+        robust_estimate([1.0], self.estimator)  # validates the name
+
+
+@dataclass(frozen=True)
+class ReadingBounds:
+    """Plausibility window for one measurement channel.
+
+    A reading must be finite, strictly positive, and inside
+    ``[lo, hi]``.  Defaults are deliberately generous — they exist to
+    catch *broken* readings (1e-300 s "latencies", 1e30 B/s
+    "bandwidths"), not to second-guess unusual hardware.
+    """
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not (0 < self.lo < self.hi):
+            raise ConfigurationError("bounds need 0 < lo < hi")
+
+    def problem(self, value: float) -> str | None:
+        """A human-readable defect, or None for a plausible reading."""
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return f"non-numeric reading {value!r}"
+        if math.isnan(value):
+            return "NaN reading"
+        if math.isinf(value):
+            return "infinite reading"
+        if value <= 0:
+            return f"non-positive reading {value:g}"
+        if value < self.lo:
+            return f"implausibly small reading {value:g} (< {self.lo:g})"
+        if value > self.hi:
+            return f"implausibly large reading {value:g} (> {self.hi:g})"
+        return None
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Everything :class:`HardenedBackend` needs to harden a backend."""
+
+    retry: RetryPolicy = RetryPolicy()
+    sampling: SamplingPolicy = SamplingPolicy()
+    #: Cycles per access: sub-cycle and million-cycle accesses are broken.
+    cycles_bounds: ReadingBounds = ReadingBounds(1e-2, 1e6)
+    #: Bytes per second: 1 B/s .. 1 PB/s.
+    bandwidth_bounds: ReadingBounds = ReadingBounds(1.0, 1e15)
+    #: Seconds: 1 ps .. 1 hour.
+    latency_bounds: ReadingBounds = ReadingBounds(1e-12, 3600.0)
+
+    @classmethod
+    def default(cls) -> "ResiliencePolicy":
+        """A sensible production policy: 3 attempts, 3-sample median."""
+        return cls(
+            retry=RetryPolicy(max_attempts=3),
+            sampling=SamplingPolicy(samples=3),
+        )
+
+
+#: Incident counter names (all reset by ``take_incidents``).
+INCIDENT_KINDS: tuple[str, ...] = (
+    "retries",
+    "invalid_readings",
+    "timeouts",
+    "resamples",
+)
+
+#: Incidents that mean *fault recovery* happened, marking a suite phase
+#: ``degraded``.  Spread-gate resamples are deliberately excluded: on a
+#: noisy-but-healthy backend they are routine statistics, not faults.
+DEGRADING_INCIDENTS: tuple[str, ...] = (
+    "retries",
+    "invalid_readings",
+    "timeouts",
+)
+
+
+class HardenedBackend(Backend):
+    """Retry, validate, and robustly aggregate every measurement.
+
+    Wraps any backend; see the module docstring for semantics.  The
+    wrapper is transparent for healthy backends with the default
+    single-sample policy: values pass through unchanged.
+    """
+
+    def __init__(self, inner: Backend, policy: ResiliencePolicy | None = None) -> None:
+        self.inner = inner
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.name = inner.name
+        self.n_cores = inner.n_cores
+        self.page_size = inner.page_size
+        self.incidents: dict[str, int] = {kind: 0 for kind in INCIDENT_KINDS}
+
+    @property
+    def virtual_time(self) -> float:
+        return self.inner.virtual_time
+
+    @virtual_time.setter
+    def virtual_time(self, value: float) -> None:
+        self.inner.virtual_time = value
+
+    def __getattr__(self, attr: str):
+        if attr == "inner":
+            raise AttributeError(attr)
+        return getattr(self.inner, attr)
+
+    # -- incident accounting ----------------------------------------------
+
+    def take_incidents(self) -> dict[str, int]:
+        """Return and reset incident counters (suite degradation marker)."""
+        taken, self.incidents = self.incidents, {k: 0 for k in INCIDENT_KINDS}
+        return taken
+
+    @property
+    def total_incidents(self) -> int:
+        return sum(self.incidents.values())
+
+    # -- hardening machinery ----------------------------------------------
+
+    def _attempt(
+        self,
+        label: str,
+        bounds: ReadingBounds,
+        call: Callable[[], dict],
+    ) -> dict:
+        """One validated measurement, retried per the retry policy."""
+        retry = self.policy.retry
+        last_problem = "no attempt made"
+        for attempt in range(retry.max_attempts):
+            if attempt:
+                self.incidents["retries"] += 1
+                self.inner.charge(retry.backoff(attempt - 1))
+            try:
+                readings = call()
+            except MeasurementTimeout as exc:
+                self.incidents["timeouts"] += 1
+                last_problem = str(exc)
+                continue
+            bad = {
+                key: problem
+                for key, value in readings.items()
+                if (problem := bounds.problem(value)) is not None
+            }
+            if not bad:
+                return readings
+            self.incidents["invalid_readings"] += len(bad)
+            key, problem = next(iter(bad.items()))
+            last_problem = f"{problem} for {key}"
+            continue
+        raise MeasurementError(
+            f"{label}: no valid measurement after {retry.max_attempts} "
+            f"attempt(s); last problem: {last_problem}"
+        )
+
+    def _measure(
+        self,
+        label: str,
+        bounds: ReadingBounds,
+        call: Callable[[], dict],
+    ) -> dict:
+        """Repeat ``_attempt`` per the sampling policy and aggregate."""
+        sampling = self.policy.sampling
+        batches = [self._attempt(label, bounds, call) for _ in range(sampling.samples)]
+        if sampling.spread_gate is not None and sampling.samples > 1:
+            extras = 0
+            while extras < sampling.max_extra_samples and self._spread_of(
+                batches
+            ) > sampling.spread_gate:
+                self.incidents["resamples"] += 1
+                batches.append(self._attempt(label, bounds, call))
+                extras += 1
+        if len(batches) == 1:
+            return batches[0]
+        keys = batches[0].keys()
+        return {
+            key: robust_estimate(
+                [batch[key] for batch in batches],
+                estimator=sampling.estimator,
+                trim_fraction=sampling.trim_fraction,
+            )
+            for key in keys
+        }
+
+    @staticmethod
+    def _spread_of(batches: list[dict]) -> float:
+        return max(
+            relative_spread([batch[key] for batch in batches])
+            for key in batches[0]
+        )
+
+    # -- Backend API -------------------------------------------------------
+
+    def traversal_cycles(
+        self, arrays: Sequence[tuple[int, int]], stride: int
+    ) -> dict[int, float]:
+        return self._measure(
+            "traversal_cycles",
+            self.policy.cycles_bounds,
+            lambda: self.inner.traversal_cycles(arrays, stride),
+        )
+
+    def copy_bandwidth(self, cores: Sequence[int]) -> dict[int, float]:
+        return self._measure(
+            "copy_bandwidth",
+            self.policy.bandwidth_bounds,
+            lambda: self.inner.copy_bandwidth(cores),
+        )
+
+    def message_latency(self, core_a: int, core_b: int, nbytes: int) -> float:
+        readings = self._measure(
+            f"message_latency({core_a},{core_b})",
+            self.policy.latency_bounds,
+            lambda: {"value": self.inner.message_latency(core_a, core_b, nbytes)},
+        )
+        return readings["value"]
+
+    def concurrent_message_latency(
+        self, pairs: Sequence[CorePair], nbytes: int
+    ) -> ConcurrentLatency:
+        def call() -> dict:
+            result = self.inner.concurrent_message_latency(pairs, nbytes)
+            return {"mean": result.mean, "worst": result.worst}
+
+        readings = self._measure(
+            "concurrent_message_latency", self.policy.latency_bounds, call
+        )
+        return ConcurrentLatency(mean=readings["mean"], worst=readings["worst"])

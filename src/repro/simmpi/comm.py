@@ -29,7 +29,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from collections.abc import Callable, Generator, Sequence
 
-from ..errors import ConfigurationError, SimulationError
+from ..errors import ConfigurationError, SimulationError, WatchdogError
 from ..netsim.model import CommConfig
 from ..topology.machine import Cluster
 from .events import Engine
@@ -45,6 +45,12 @@ __all__ = [
 
 ANY_SOURCE = -1
 ANY_TAG = -1
+
+#: Default watchdog budget: events per rank a run may execute before
+#: the runtime declares the model runaway.  Generously above any real
+#: benchmark (a message costs a handful of events) while still bounding
+#: a faulty model that would otherwise spin forever.
+DEFAULT_EVENT_BUDGET_PER_RANK = 250_000
 
 ProcessFn = Callable[["Rank"], Generator]
 
@@ -286,22 +292,37 @@ class World:
 
     # -- runtime ----------------------------------------------------------
 
-    def run(self, max_time: float | None = None) -> WorldResult:
-        """Execute until every process finishes; detect deadlock."""
+    def run(
+        self,
+        max_time: float | None = None,
+        max_events: int | None = None,
+    ) -> WorldResult:
+        """Execute until every process finishes; detect deadlock.
+
+        A watchdog bounds the run to ``max_events`` executed callbacks
+        (default: :data:`DEFAULT_EVENT_BUDGET_PER_RANK` per rank) so a
+        faulty communication model raises
+        :class:`~repro.errors.WatchdogError` naming the stuck ranks
+        instead of spinning forever.
+        """
         if len(self._procs) != self.size:
             raise ConfigurationError(
                 f"world has {self.size} ranks but {len(self._procs)} processes"
             )
+        if max_events is None:
+            max_events = DEFAULT_EVENT_BUDGET_PER_RANK * max(self.size, 1)
         for proc in self._procs.values():
             self.engine.schedule(0.0, lambda p=proc: self._advance(p, None))
-        self.engine.run(max_time=max_time)
+        try:
+            self.engine.run(max_time=max_time, max_events=max_events)
+        except WatchdogError as exc:
+            raise WatchdogError(f"{exc}; {self._stuck_ranks()}") from None
         unfinished = [p.rank for p in self._procs.values() if not p.finished]
         if unfinished and max_time is None:
-            details = ", ".join(
-                f"rank {r} blocked on {self._procs[r].blocked_on or '??'}"
-                for r in unfinished
+            raise SimulationError(
+                f"deadlock at virtual time {self.engine.now:g}s: "
+                f"{self._stuck_ranks()}"
             )
-            raise SimulationError(f"deadlock: {details}")
         finish = {p.rank: p.finish_time for p in self._procs.values() if p.finished}
         return WorldResult(
             finish_times=finish,
@@ -309,6 +330,15 @@ class World:
             messages=self._messages,
             bytes_sent=self._bytes,
             per_layer_messages=dict(self._per_layer),
+        )
+
+    def _stuck_ranks(self) -> str:
+        """Diagnostics naming every unfinished rank and its blocker."""
+        unfinished = [p for p in self._procs.values() if not p.finished]
+        if not unfinished:
+            return "no unfinished ranks"
+        return ", ".join(
+            f"rank {p.rank} blocked on {p.blocked_on or '??'}" for p in unfinished
         )
 
     def _advance(self, proc: _Proc, value: object) -> None:

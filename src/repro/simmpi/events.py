@@ -10,7 +10,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Callable
 
-from ..errors import SimulationError
+from ..errors import SimulationError, WatchdogError
 
 
 class Engine:
@@ -44,9 +44,25 @@ class Engine:
         fn()
         return True
 
-    def run(self, max_time: float | None = None) -> None:
-        """Drain the event heap (optionally stopping after ``max_time``)."""
+    def run(
+        self, max_time: float | None = None, max_events: int | None = None
+    ) -> int:
+        """Drain the event heap; returns the number of callbacks run.
+
+        ``max_time`` stops quietly once the next callback lies beyond
+        it.  ``max_events`` is a watchdog budget: exceeding it raises
+        :class:`~repro.errors.WatchdogError` (a runaway model would
+        otherwise spin forever).
+        """
+        executed = 0
         while self._heap:
             if max_time is not None and self._heap[0][0] > max_time:
-                return
+                return executed
+            if max_events is not None and executed >= max_events:
+                raise WatchdogError(
+                    f"event budget of {max_events} callbacks exhausted at "
+                    f"virtual time {self.now:g}s ({self.pending} still pending)"
+                )
             self.step()
+            executed += 1
+        return executed

@@ -1,6 +1,6 @@
 """Integration: every shipped example must run to completion."""
 
-import runpy
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -8,15 +8,24 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+SRC = Path(__file__).resolve().parents[2] / "src"
 
 
 def run_example(name: str) -> str:
+    # The examples import repro from a source checkout: prepend src/ to
+    # whatever PYTHONPATH the child would otherwise inherit.
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC) if not existing else str(SRC) + os.pathsep + existing
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
         capture_output=True,
         text=True,
         timeout=600,
         cwd=EXAMPLES,
+        env=env,
     )
     assert result.returncode == 0, result.stderr
     return result.stdout

@@ -49,3 +49,81 @@ def test_advise(tmp_path, capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_run_resume_requires_checkpoint(capsys):
+    assert main(["run", "--machine", "dempsey", "--resume"]) == 2
+    assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+
+def test_run_with_checkpoint_then_resume(tmp_path, capsys):
+    ckpt = tmp_path / "ckpt.json"
+    assert main(["run", "--machine", "dempsey", "--checkpoint", str(ckpt)]) == 0
+    assert ckpt.exists()
+    data = json.loads(ckpt.read_text())
+    assert "cache_size" in data["completed"]
+    capsys.readouterr()
+    # Resuming a finished run re-measures nothing and still reports.
+    assert main(
+        ["run", "--machine", "dempsey", "--checkpoint", str(ckpt), "--resume"]
+    ) == 0
+    assert "Cache hierarchy" in capsys.readouterr().out
+
+
+def test_run_lenient_with_fault_plan_degrades(tmp_path, capsys):
+    from repro import FaultPlan
+
+    plan_path = tmp_path / "plan.json"
+    # A dead bandwidth meter: memory phase fails, suite survives.
+    FaultPlan(seed=1, nan_rate=1.0, only=("bandwidth",)).save(plan_path)
+    report_path = tmp_path / "report.json"
+    code = main(
+        [
+            "run",
+            "--machine",
+            "dempsey",
+            "--fault-plan",
+            str(plan_path),
+            "--retries",
+            "2",
+            "--lenient",
+            "-o",
+            str(report_path),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "WARNING: degraded run" in captured.err
+    assert "memory_overhead=failed" in captured.err
+    data = json.loads(report_path.read_text())
+    assert data["phase_status"]["memory_overhead"] == "failed"
+    assert data["phase_status"]["cache_size"] == "ok"
+
+
+def test_run_strict_with_fault_plan_fails_loudly(tmp_path, capsys):
+    from repro import FaultPlan
+
+    plan_path = tmp_path / "plan.json"
+    FaultPlan(seed=1, nan_rate=1.0, only=("bandwidth",)).save(plan_path)
+    code = main(
+        [
+            "run",
+            "--machine",
+            "dempsey",
+            "--fault-plan",
+            str(plan_path),
+            "--retries",
+            "2",
+        ]
+    )
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_run_with_samples_hardening(tmp_path):
+    path = tmp_path / "report.json"
+    assert main(
+        ["run", "--machine", "athlon_3200", "--samples", "2", "-o", str(path)]
+    ) == 0
+    data = json.loads(path.read_text())
+    assert data["caches"]

@@ -135,6 +135,62 @@ class TestSerialization:
         with pytest.raises(ReproError):
             ServetReport.from_dict({"system": "x"})
 
+    def test_roundtrip_with_phase_status_and_errors(self):
+        report = sample_report()
+        report.phase_status = {
+            "cache_size": "ok",
+            "shared_caches": "degraded",
+            "memory_overhead": "failed",
+            "communication_costs": "skipped",
+        }
+        report.phase_errors = {
+            "shared_caches": "recovered from measurement faults (2 retries)",
+            "memory_overhead": "copy_bandwidth: no valid measurement",
+        }
+        clone = ServetReport.from_dict(report.to_dict())
+        assert clone == report
+        assert clone.phase_status["memory_overhead"] == "failed"
+        assert clone.phase_errors == report.phase_errors
+
+    def test_pre_resilience_report_loads_with_empty_status(self):
+        data = sample_report().to_dict()
+        del data["phase_status"]
+        del data["phase_errors"]
+        clone = ServetReport.from_dict(data)
+        assert clone.phase_status == {}
+        assert not clone.degraded
+        assert clone.phase_ok("cache_size")
+
+
+class TestDegradedQueries:
+    def test_degraded_flag_and_failed_phases(self):
+        report = sample_report()
+        assert not report.degraded
+        report.phase_status = {"cache_size": "ok", "memory_overhead": "failed"}
+        assert report.degraded
+        assert report.failed_phases == ["memory_overhead"]
+        assert not report.phase_ok("memory_overhead")
+
+    def test_skipped_alone_does_not_flag_degraded(self):
+        # A structurally skipped phase (e.g. unicore communication) is
+        # not a fault; only degraded/failed statuses taint the run.
+        report = sample_report()
+        report.phase_status = {"cache_size": "ok", "communication_costs": "skipped"}
+        assert not report.degraded
+
+    def test_summary_shows_degraded_phases(self):
+        report = sample_report()
+        report.phase_status = {"cache_size": "ok", "memory_overhead": "failed"}
+        report.phase_errors = {"memory_overhead": "dead bandwidth meter"}
+        text = report.summary()
+        assert "Phase status (degraded run):" in text
+        assert "memory_overhead: failed — dead bandwidth meter" in text
+
+    def test_summary_silent_when_healthy(self):
+        report = sample_report()
+        report.phase_status = {name: "ok" for name in report.timings}
+        assert "Phase status" not in report.summary()
+
 
 def test_summary_mentions_everything():
     text = sample_report().summary()
