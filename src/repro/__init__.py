@@ -25,6 +25,15 @@ Quickstart::
 from .backends import Backend, NativeBackend, SimulatedBackend
 from .core import ServetReport, ServetSuite
 from .autotune import Advisor
+from .planner import (
+    MeasurementPlan,
+    MessageProbe,
+    PlanExecutor,
+    PlannerStats,
+    StreamProbe,
+    TopologyClassifier,
+    TraversalProbe,
+)
 from .resilience import (
     FaultInjectingBackend,
     FaultPlan,
@@ -56,6 +65,13 @@ __all__ = [
     "ServetReport",
     "ServetSuite",
     "Advisor",
+    "MeasurementPlan",
+    "MessageProbe",
+    "PlanExecutor",
+    "PlannerStats",
+    "StreamProbe",
+    "TopologyClassifier",
+    "TraversalProbe",
     "FaultInjectingBackend",
     "FaultPlan",
     "HardenedBackend",

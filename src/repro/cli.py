@@ -30,6 +30,7 @@ from .resilience import (
     SamplingPolicy,
 )
 from .netsim import default_comm_config
+from .planner import PRUNE_MODES
 from .topology import (
     Cluster,
     build_machine,
@@ -115,6 +116,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="inject deterministic faults from a JSON fault plan "
         "(resilience drill; see repro.resilience.FaultPlan)",
     )
+    run.add_argument(
+        "--prune",
+        choices=list(PRUNE_MODES),
+        default="off",
+        help="symmetry-prune pairwise measurements: measure one "
+        "representative per topology-equivalence class ('topology'), "
+        "additionally spot-check each class ('verify'), or measure "
+        "every pair ('off', the default)",
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N independent measurements concurrently on "
+        "wall-clock-bound backends (simulated backends always run "
+        "serially to stay deterministic)",
+    )
 
     rep = sub.add_parser("report", help="pretty-print a stored report")
     rep.add_argument("path", help="JSON report produced by 'servet run'")
@@ -194,7 +213,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume and args.checkpoint is None:
         print("error: --resume requires --checkpoint", file=sys.stderr)
         return 2
-    report = ServetSuite(backend).run(
+    report = ServetSuite(backend, jobs=args.jobs, prune=args.prune).run(
         strict=not args.lenient,
         checkpoint=args.checkpoint,
         resume=args.resume,

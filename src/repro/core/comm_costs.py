@@ -21,6 +21,7 @@ from collections.abc import Sequence
 
 from ..backends.base import Backend
 from ..errors import MeasurementError
+from ..planner import PlanExecutor
 from ..topology.machine import CorePair, all_pairs
 from ..units import KiB, MiB
 from .clustering import cluster_similar
@@ -114,27 +115,31 @@ def detect_comm_layers(
     probe_size: int,
     cores: Sequence[int] | None = None,
     similarity: float = SIMILARITY_TOLERANCE,
+    planner: PlanExecutor | None = None,
 ) -> CommCostsResult:
     """Stage 1 (Fig. 7): measure every pair and cluster latencies.
 
     ``probe_size`` should be the detected L1 cache size, per the paper
     ("it allows to find differences in communications when sharing
-    other cache levels").
+    other cache levels").  The all-pairs probe batch goes through the
+    measurement ``planner`` (a pass-through executor by default), which
+    may prune symmetric pairs and overlap independent probes.
     """
     if cores is None:
         cores = list(range(backend.n_cores))
     if len(cores) < 2:
         raise MeasurementError("communication layers need at least two cores")
+    executor = planner if planner is not None else PlanExecutor(backend)
+    pair_latencies = executor.pairwise_message_latency(
+        all_pairs(list(cores)), probe_size
+    )
     items: list[tuple[CorePair, float]] = []
-    pair_latencies: dict[CorePair, float] = {}
-    for a, b in all_pairs(list(cores)):
-        latency = backend.message_latency(a, b, probe_size)
+    for (a, b), latency in pair_latencies.items():
         if not (latency > 0) or latency != latency:
             raise MeasurementError(
                 f"latency measurement for pair ({a},{b}) is unusable "
                 f"({latency!r})"
             )
-        pair_latencies[(a, b)] = latency
         items.append(((a, b), latency))
     clusters = cluster_similar(items, rel_tol=similarity)
     layers = [
@@ -150,14 +155,21 @@ def characterize_layers(
     backend: Backend,
     result: CommCostsResult,
     message_sizes: Sequence[int] = DEFAULT_MESSAGE_SIZES,
+    planner: PlanExecutor | None = None,
 ) -> None:
-    """Stage 2: per-layer micro-benchmark over message sizes (in place)."""
+    """Stage 2: per-layer micro-benchmark over message sizes (in place).
+
+    Issued through the planner so a sweep size that coincides with the
+    stage-1 probe size (L1 is always in the default sweep) reuses the
+    already-measured latency instead of paying for it again.
+    """
+    executor = planner if planner is not None else PlanExecutor(backend)
     result.characterization = []
     for layer in result.layers:
         a, b = layer.representative
         curve: list[tuple[int, float, float]] = []
         for nbytes in message_sizes:
-            latency = backend.message_latency(a, b, nbytes)
+            latency = executor.message_latency(a, b, nbytes)
             curve.append((nbytes, latency, nbytes / latency))
         result.characterization.append(curve)
 
@@ -166,13 +178,21 @@ def layer_scalability(
     backend: Backend,
     result: CommCostsResult,
     max_pairs: int | None = None,
+    planner: PlanExecutor | None = None,
 ) -> None:
     """Stage 3: concurrent-message slowdown per layer (in place).
 
     For each layer, ``k`` disjoint pairs exchange simultaneously
     (``2k`` concurrent messages); the worst per-message latency is
     compared against the isolated reference (the Fig. 10b curves).
+
+    The isolated reference is the probe-size latency of the first
+    disjoint pair — which stage 1 already measured and recorded in
+    :attr:`CommCostsResult.pair_latencies` — so it is looked up there
+    instead of being re-measured (and only measured, through the
+    planner, when the result object carries no stage-1 data).
     """
+    executor = planner if planner is not None else PlanExecutor(backend)
     result.scalability = []
     for layer in result.layers:
         pairs = layer.disjoint_pairs()
@@ -181,11 +201,13 @@ def layer_scalability(
         if not pairs:
             result.scalability.append([])
             continue
-        reference = backend.message_latency(*pairs[0], result.probe_size)
+        reference = result.pair_latencies.get(pairs[0])
+        if reference is None:
+            reference = executor.message_latency(*pairs[0], result.probe_size)
         curve: list[tuple[int, float, float]] = []
         k = 1
         while k <= len(pairs):
-            concurrent = backend.concurrent_message_latency(
+            concurrent = executor.concurrent_message_latency(
                 pairs[:k], result.probe_size
             )
             curve.append((2 * k, concurrent.worst, concurrent.worst / reference))
@@ -198,9 +220,19 @@ def run_comm_costs(
     l1_size: int,
     cores: Sequence[int] | None = None,
     message_sizes: Sequence[int] = DEFAULT_MESSAGE_SIZES,
+    planner: PlanExecutor | None = None,
 ) -> CommCostsResult:
-    """All three stages of Section III-D in order."""
-    result = detect_comm_layers(backend, probe_size=l1_size, cores=cores)
-    characterize_layers(backend, result, message_sizes=message_sizes)
-    layer_scalability(backend, result)
+    """All three stages of Section III-D in order.
+
+    One planner serves all three stages so stage 2 and 3 reuse stage-1
+    measurements (memoized probes, pruned pairs) for free.
+    """
+    executor = planner if planner is not None else PlanExecutor(backend)
+    result = detect_comm_layers(
+        backend, probe_size=l1_size, cores=cores, planner=executor
+    )
+    characterize_layers(
+        backend, result, message_sizes=message_sizes, planner=executor
+    )
+    layer_scalability(backend, result, planner=executor)
     return result

@@ -16,6 +16,7 @@ from collections.abc import Sequence
 
 from ..backends.base import Backend
 from ..errors import MeasurementError
+from ..planner import PlanExecutor, StreamProbe
 from ..topology.machine import CorePair, all_pairs
 from .clustering import cluster_similar, groups_from_pairs
 
@@ -73,28 +74,37 @@ def characterize_memory_overhead(
     reference_core: int = 0,
     similarity: float = SIMILARITY_TOLERANCE,
     significance: float = SIGNIFICANCE,
+    planner: PlanExecutor | None = None,
 ) -> MemoryOverheadResult:
-    """Run the Fig. 6 algorithm (plus group inference and scalability)."""
+    """Run the Fig. 6 algorithm (plus group inference and scalability).
+
+    The all-pairs bandwidth batch goes through the measurement
+    ``planner`` (pass-through by default), which may prune
+    topology-equivalent pairs and overlap independent probes.
+    """
     if cores is None:
         cores = list(range(backend.n_cores))
     if reference_core not in cores:
         raise MeasurementError("reference core must be among the tested cores")
-    ref = backend.copy_bandwidth([reference_core])[reference_core]
+    executor = planner if planner is not None else PlanExecutor(backend)
+    ref = executor.copy_bandwidth([reference_core])[reference_core]
     if not (ref > 0) or ref != ref:  # catches 0, negatives and NaN
         raise MeasurementError(
             f"reference bandwidth measurement is unusable ({ref!r})"
         )
 
-    pair_bw: dict[CorePair, float] = {}
-    overhead_items: list[tuple[CorePair, float]] = []
-    for a, b in all_pairs(list(cores)):
-        bw = backend.copy_bandwidth([a, b])
-        # "the bandwidth of one core when both of them are concurrently
-        # accessing": measure the first core of the pair.
-        b_first = bw[a]
-        pair_bw[(a, b)] = b_first
-        if b_first < ref * (1.0 - significance):
-            overhead_items.append(((a, b), b_first))
+    # "the bandwidth of one core when both of them are concurrently
+    # accessing": measure the first core of the pair.
+    pair_bw = executor.pairwise(
+        all_pairs(list(cores)),
+        probe_factory=lambda pair, s: StreamProbe(cores=pair, sample=s),
+        value=lambda pair, raws: raws[0][pair[0]],
+    )
+    overhead_items: list[tuple[CorePair, float]] = [
+        (pair, bw)
+        for pair, bw in pair_bw.items()
+        if bw < ref * (1.0 - significance)
+    ]
 
     clusters = cluster_similar(overhead_items, rel_tol=similarity)
     levels = [
@@ -107,7 +117,9 @@ def characterize_memory_overhead(
     ]
 
     scalability = [
-        memory_scalability(backend, level.example_group) if level.example_group else []
+        memory_scalability(backend, level.example_group, planner=executor)
+        if level.example_group
+        else []
         for level in levels
     ]
     return MemoryOverheadResult(
@@ -118,18 +130,26 @@ def characterize_memory_overhead(
     )
 
 
-def memory_scalability(backend: Backend, group: Sequence[int]) -> list[float]:
+def memory_scalability(
+    backend: Backend,
+    group: Sequence[int],
+    planner: PlanExecutor | None = None,
+) -> list[float]:
     """Effective bandwidth of ``group[0]`` as group members activate.
 
     Entry k (0-based) is the first core's copy bandwidth with cores
     ``group[0..k]`` streaming concurrently — one line of Fig. 9(b).
     The paper's observation that one group per overhead level suffices
     (all groups of a level behave alike) is what makes this cheap.
+    The k=2 point coincides with the pairwise batch of
+    :func:`characterize_memory_overhead`, so issuing it through the
+    shared planner turns it into a memo hit.
     """
     if not group:
         raise MeasurementError("scalability needs a non-empty group")
+    executor = planner if planner is not None else PlanExecutor(backend)
     curve: list[float] = []
     for k in range(1, len(group) + 1):
-        bw = backend.copy_bandwidth(list(group[:k]))
+        bw = executor.copy_bandwidth(list(group[:k]))
         curve.append(bw[group[0]])
     return curve

@@ -135,6 +135,10 @@ class ServetReport:
     phase_status: dict[str, str] = field(default_factory=dict)
     #: phase name -> captured error message (failed phases only).
     phase_errors: dict[str, str] = field(default_factory=dict)
+    #: Measurement-planner accounting: probes issued vs saved by
+    #: memoization and symmetry pruning, plus the prune/jobs
+    #: configuration (empty for runs without a planner).
+    planner: dict = field(default_factory=dict)
 
     # -- degraded-mode queries ----------------------------------------------
 
@@ -212,6 +216,20 @@ class ServetReport:
         data["timings"] = {k: list(v) for k, v in data["timings"].items()}
         return data
 
+    def measurement_dict(self) -> dict:
+        """The measured content only — no cost accounting.
+
+        Strips :attr:`timings` and :attr:`planner` from :meth:`to_dict`.
+        A symmetry-pruned run is *supposed* to be cheaper (different
+        timings, different probe counts) while producing the same
+        measurements; this is the dictionary two such runs are compared
+        on.
+        """
+        data = self.to_dict()
+        data.pop("timings", None)
+        data.pop("planner", None)
+        return data
+
     @classmethod
     def from_dict(cls, data: dict) -> "ServetReport":
         """Inverse of :meth:`to_dict`."""
@@ -274,6 +292,7 @@ class ServetReport:
                     str(k): str(v)
                     for k, v in data.get("phase_errors", {}).items()
                 },
+                planner=dict(data.get("planner", {})),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed report data: {exc}") from exc
@@ -330,6 +349,19 @@ class ServetReport:
                 if phase in self.phase_errors:
                     note = f" — {self.phase_errors[phase]}"
                 lines.append(f"  {phase}: {status}{note}")
+        if self.planner:
+            issued = self.planner.get("issued", 0)
+            saved = self.planner.get("saved", 0)
+            detail = []
+            if self.planner.get("prune"):
+                detail.append(f"prune={self.planner['prune']}")
+            if self.planner.get("jobs"):
+                detail.append(f"jobs={self.planner['jobs']}")
+            suffix = f" [{', '.join(detail)}]" if detail else ""
+            lines.append(
+                f"Planner: {issued} measurement(s) issued, {saved} "
+                f"saved{suffix}"
+            )
         if self.timings:
             lines.append("Benchmark execution times (virtual):")
             for name, (virtual, wall) in self.timings.items():

@@ -13,10 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
-import numpy as np
-
 from ..backends.base import Backend
 from ..errors import MeasurementError
+from ..planner import PlanExecutor, TraversalProbe
 from ..topology.machine import CorePair, all_pairs
 from .mcalibrator import STRIDE
 
@@ -57,6 +56,7 @@ def detect_shared_caches(
     ratio_threshold: float = RATIO_THRESHOLD,
     reference_core: int = 0,
     samples: int = 3,
+    planner: PlanExecutor | None = None,
 ) -> SharedCacheResult:
     """Run the Fig. 5 algorithm.
 
@@ -74,6 +74,13 @@ def detect_shared_caches(
         indexed cache the conflict miss rate at ``(2/3)*CS`` depends on
         the random page placement, so single-allocation ratios have
         heavy tails that can cross the threshold spuriously.
+    planner:
+        Measurement executor (pass-through by default).  The per-level
+        single-core reference is emitted once through it and memoized,
+        so every consumer of the same ``(core, size, stride, sample)``
+        traversal — including a second level with the same array size,
+        or a resumed run — reuses it instead of re-deriving the setup;
+        the pairwise batch may additionally be symmetry-pruned.
     """
     if not cache_sizes:
         raise MeasurementError("need at least one cache level")
@@ -88,39 +95,44 @@ def detect_shared_caches(
             references=[float("nan") for _ in cache_sizes],
         )
 
+    executor = planner if planner is not None else PlanExecutor(backend)
     shared_pairs: list[list[CorePair]] = []
     ratios: list[dict[CorePair, float]] = []
     references: list[float] = []
     pairs = all_pairs(list(cores))
     for cache_size in cache_sizes:
         array_bytes = (2 * cache_size) // 3
-        ref = float(
-            np.mean(
-                [
-                    backend.traversal_cycles([(reference_core, array_bytes)], stride)[
-                        reference_core
-                    ]
-                    for _ in range(samples)
-                ]
+        ref = executor.traversal_reference(
+            reference_core, array_bytes, stride, samples=samples
+        )
+
+        def pair_probe(pair: CorePair, sample: int) -> TraversalProbe:
+            a, b = pair
+            return TraversalProbe(
+                arrays=((a, array_bytes), (b, array_bytes)),
+                stride=stride,
+                sample=sample,
             )
+
+        def pair_cycles(pair: CorePair, raws: list) -> float:
+            # "Cycles obtained from mcalibrator run in parallel on the
+            # cores of the pair": the pair's cost is what either core
+            # experiences; take the mean of the two, then average the
+            # fresh-allocation samples.
+            a, b = pair
+            observations = [(raw[a] + raw[b]) / 2.0 for raw in raws]
+            return float(sum(observations)) / len(observations)
+
+        level_cycles = executor.pairwise(
+            pairs, probe_factory=pair_probe, value=pair_cycles, samples=samples
         )
         level_ratios: dict[CorePair, float] = {}
         level_shared: list[CorePair] = []
-        for a, b in pairs:
-            observations = []
-            for _ in range(samples):
-                cycles = backend.traversal_cycles(
-                    [(a, array_bytes), (b, array_bytes)], stride
-                )
-                # "Cycles obtained from mcalibrator run in parallel on
-                # the cores of the pair": the pair's cost is what either
-                # core experiences; take the mean of the two.
-                observations.append((cycles[a] + cycles[b]) / 2.0)
-            c = float(np.mean(observations))
-            ratio = c / ref
-            level_ratios[(a, b)] = ratio
+        for pair in pairs:
+            ratio = level_cycles[pair] / ref
+            level_ratios[pair] = ratio
             if ratio > ratio_threshold:
-                level_shared.append((a, b))
+                level_shared.append(pair)
         shared_pairs.append(level_shared)
         ratios.append(level_ratios)
         references.append(ref)

@@ -28,6 +28,7 @@ from collections.abc import Callable, Sequence
 
 from ..backends.base import Backend
 from ..errors import CheckpointError, ReproError
+from ..planner import PlanExecutor
 from ..resilience.checkpoint import SuiteCheckpoint, restore_rng, rng_state_of
 from ..resilience.policy import DEGRADING_INCIDENTS
 from ..units import KiB
@@ -108,6 +109,19 @@ class ServetSuite:
         Wall-clock source for the per-phase timings (defaults to
         :func:`time.perf_counter`; tests inject a deterministic clock
         so checkpoint/resume reports compare byte-for-byte).
+    jobs:
+        Worker-pool width for wall-clock-bound backends (see
+        :class:`repro.planner.PlanExecutor`; no-op for virtual-time
+        backends, whose determinism it would break).
+    prune:
+        Symmetry-pruning mode for pairwise batches: ``"off"`` (measure
+        everything), ``"topology"`` (one representative per
+        topology-equivalence class), or ``"verify"`` (topology plus a
+        measured spot check per class).
+    planner:
+        Inject a pre-built :class:`~repro.planner.PlanExecutor`
+        (overrides ``jobs``/``prune``); one executor is shared by every
+        phase so later phases reuse earlier measurements.
     """
 
     def __init__(
@@ -117,9 +131,19 @@ class ServetSuite:
         comm_cores: Sequence[int] | None = None,
         probe_tlb: bool = True,
         clock: Callable[[], float] = time.perf_counter,
+        jobs: int = 1,
+        prune: str = "off",
+        planner: PlanExecutor | None = None,
     ) -> None:
         self.backend = backend
         self.probe_tlb = probe_tlb
+        self.planner = (
+            planner
+            if planner is not None
+            else PlanExecutor(backend, prune=prune, jobs=jobs)
+        )
+        self.prune = self.planner.prune
+        self.jobs = self.planner.jobs
         if node_cores is None:
             cluster = getattr(backend, "cluster", None)
             if cluster is not None and cluster.n_nodes > 1:
@@ -163,6 +187,10 @@ class ServetSuite:
             self.timings.phases.update(state.timings)
             self._last_phase = completed[-1] if completed else None
             restore_rng(backend, state.rng_state)
+            # Carry the finished phases' planner accounting forward so
+            # the final report counts the whole run, not just the
+            # resumed tail.
+            self.planner.stats.merge(state.report.get("planner", {}))
         else:
             report = ServetReport(
                 system=backend.name,
@@ -228,6 +256,7 @@ class ServetSuite:
             )
 
         report.timings = dict(self.timings.phases)
+        report.planner = self._planner_dict()
         self._save_checkpoint(ctx)
         return report
 
@@ -255,6 +284,7 @@ class ServetSuite:
             report.cache_sizes,
             cores=self.node_cores,
             reference_core=self.node_cores[0],
+            planner=self.planner,
         )
         for cache, pairs in zip(report.caches, shared.shared_pairs):
             cache.shared_pairs = pairs
@@ -271,6 +301,7 @@ class ServetSuite:
             self.backend,
             cores=self.node_cores,
             reference_core=self.node_cores[0],
+            planner=self.planner,
         )
         report.memory_reference = memory.reference
         for level, curve in zip(memory.levels, memory.scalability):
@@ -284,7 +315,9 @@ class ServetSuite:
             )
 
     def _phase_comm(self, report: ServetReport, probe_size: int) -> None:
-        comm = run_comm_costs(self.backend, probe_size, cores=self.comm_cores)
+        comm = run_comm_costs(
+            self.backend, probe_size, cores=self.comm_cores, planner=self.planner
+        )
         report.comm_probe_size = comm.probe_size
         for layer in comm.layers:
             report.comm_layers.append(
@@ -373,7 +406,17 @@ class ServetSuite:
             "node_cores": list(self.node_cores),
             "comm_cores": list(self.comm_cores),
             "probe_tlb": self.probe_tlb,
+            # Pruned and unpruned runs are not resumable into each other
+            # (different probes reached the backend, so its RNG streams
+            # diverge mid-phase).
+            "prune": self.prune,
         }
+
+    def _planner_dict(self) -> dict:
+        data: dict = dict(self.planner.stats.as_dict())
+        data["prune"] = self.prune
+        data["jobs"] = self.jobs
+        return data
 
     def _load_checkpoint(
         self, path: Path | None, resume: bool
@@ -393,6 +436,7 @@ class ServetSuite:
     def _save_checkpoint(self, ctx: _RunContext) -> None:
         if ctx.checkpoint_path is None:
             return
+        ctx.report.planner = self._planner_dict()
         SuiteCheckpoint(
             fingerprint=self._fingerprint(),
             completed=list(ctx.completed),

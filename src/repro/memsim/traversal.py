@@ -23,6 +23,7 @@ lines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -46,6 +47,21 @@ def strided_addresses(array_bytes: int, stride: int) -> np.ndarray:
     if array_bytes <= 0:
         raise MeasurementError(f"array size must be positive, got {array_bytes}")
     return np.arange(0, array_bytes, stride, dtype=np.int64)
+
+
+@lru_cache(maxsize=256)
+def _strided_addresses_shared(array_bytes: int, stride: int) -> np.ndarray:
+    """Memoized, read-only address vector for one ``(size, stride)``.
+
+    The engine evaluates the same traversal geometry many times per
+    suite run (``run`` and ``_tlb_cycles_per_access`` for every probe,
+    repeat-sampling, every pair of a pairwise stage); the address
+    vector depends only on ``(array_bytes, stride)``, so share one
+    immutable copy instead of rebuilding it per call.
+    """
+    addresses = strided_addresses(array_bytes, stride)
+    addresses.setflags(write=False)
+    return addresses
 
 
 @dataclass(frozen=True)
@@ -121,7 +137,7 @@ class TraversalEngine:
         active: dict[int, np.ndarray] = {}
         cost: dict[int, np.ndarray] = {}
         for t, crng in zip(traversals, child_rngs):
-            vaddrs = strided_addresses(t.array_bytes, t.stride)
+            vaddrs = _strided_addresses_shared(t.array_bytes, t.stride)
             space = AddressSpace(machine.page_size, self.paging, t.array_bytes, crng)
             line_size = machine.levels[0].spec.line_size
             vlines[t.core] = space.virtual_lines(vaddrs, line_size)
@@ -200,7 +216,7 @@ class TraversalEngine:
         tlb = self.machine.tlb
         if tlb is None:
             return 0.0
-        vaddrs = strided_addresses(traversal.array_bytes, traversal.stride)
+        vaddrs = _strided_addresses_shared(traversal.array_bytes, traversal.stride)
         vpages = np.unique(vaddrs // self.machine.page_size)
         sets = vpages % tlb.num_sets
         load = np.bincount(sets.astype(np.int64), minlength=tlb.num_sets)

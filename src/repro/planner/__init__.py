@@ -1,0 +1,55 @@
+"""Measurement planner: plan → prune → execute.
+
+Sits between the phase algorithms of :mod:`repro.core` and the
+:class:`~repro.backends.base.Backend`.  The three pairwise topology
+phases (shared caches, memory overhead, communication costs) emit
+:class:`MeasurementPlan` batches instead of issuing blocking backend
+calls inline; the :class:`PlanExecutor` deduplicates repeated probes,
+prunes symmetric core pairs down to one representative per
+topology-equivalence class, and overlaps independent probes for
+wall-clock-bound backends — while keeping virtual-time accounting and
+RNG streams deterministic for the simulated ones.
+
+See DESIGN.md §6 ("Measurement planner") for the pipeline, determinism
+guarantees, and when ``--jobs`` / ``--prune`` are safe.
+"""
+
+from .plan import (
+    ConcurrentMessageProbe,
+    MeasurementPlan,
+    MessageProbe,
+    PlanStep,
+    Probe,
+    StreamProbe,
+    TraversalProbe,
+    probe_cores,
+    probe_kind,
+)
+from .symmetry import (
+    PRUNE_MODES,
+    PairClass,
+    TopologyClassifier,
+    classifier_for,
+    validate_prune_mode,
+)
+from .executor import VERIFY_TOLERANCE, PlanExecutor, PlannerStats
+
+__all__ = [
+    "ConcurrentMessageProbe",
+    "MeasurementPlan",
+    "MessageProbe",
+    "PlanStep",
+    "Probe",
+    "StreamProbe",
+    "TraversalProbe",
+    "probe_cores",
+    "probe_kind",
+    "PRUNE_MODES",
+    "PairClass",
+    "TopologyClassifier",
+    "classifier_for",
+    "validate_prune_mode",
+    "VERIFY_TOLERANCE",
+    "PlanExecutor",
+    "PlannerStats",
+]

@@ -1,0 +1,425 @@
+"""The memoizing, pruning, (optionally) concurrent plan executor.
+
+:class:`PlanExecutor` sits between the phase algorithms and the
+:class:`~repro.backends.base.Backend`:
+
+- **Memoization** — every probe result is cached under the probe's
+  value identity, so repeated probes (the per-level reference
+  traversals, a characterization sweep revisiting the layer-detection
+  probe size, a re-measured isolated latency) are answered for free.
+  Intentional repeat-sampling carries distinct ``sample`` indices and
+  is never collapsed.
+- **Symmetry pruning** — pairwise batches are partitioned into
+  topology-equivalence classes (:mod:`repro.planner.symmetry`); one
+  representative per class is measured and its result broadcast to the
+  rest, turning O(n²) pairwise measurements into O(#classes).
+  ``verify`` mode additionally measures one spot-check pair per class
+  and falls back to full measurement when it diverges from the
+  representative.
+- **Scheduling** — for wall-clock-bound backends (``jobs > 1`` and
+  ``backend.wall_clock_bound``) independent probes run on a worker
+  pool, overlapping only probes whose core sets are disjoint (two
+  measurements sharing a core would perturb each other).  Virtual-time
+  backends always execute serially in plan order, so their RNG streams
+  and virtual-time accounting stay deterministic regardless of
+  ``jobs``.
+
+Every decision is counted in :class:`PlannerStats` so the suite can
+report measurements issued versus measurements saved.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+
+from ..backends.base import Backend, ConcurrentLatency
+from ..errors import ConfigurationError
+from ..topology.machine import CorePair
+from .plan import (
+    ConcurrentMessageProbe,
+    MeasurementPlan,
+    MessageProbe,
+    PlanStep,
+    Probe,
+    StreamProbe,
+    TraversalProbe,
+    probe_cores,
+)
+from .symmetry import TopologyClassifier, classifier_for, validate_prune_mode
+
+#: Relative disagreement between representative and spot check above
+#: which ``verify`` mode distrusts a class and measures it in full.
+#: Chosen just under the phase clustering tolerances (0.08–0.15), so a
+#: divergence large enough to change clustering always trips it.
+VERIFY_TOLERANCE: float = 0.05
+
+
+@dataclass
+class PlannerStats:
+    """Counters of what the executor did (and did not have to do)."""
+
+    #: Backend measurements actually performed.
+    issued: int = 0
+    #: Probes answered from the memo cache (deduplicated repeats).
+    cache_hits: int = 0
+    #: Pairwise probes answered by symmetry broadcast.
+    pruned: int = 0
+    #: Extra verify-mode spot-check measurements (also counted issued).
+    spot_checks: int = 0
+    #: Classes whose spot check diverged and were measured in full.
+    verify_fallbacks: int = 0
+    #: Pairwise probes the phases asked for (pruned or not).
+    pairwise_requested: int = 0
+    #: Pairwise probes that reached the backend.
+    pairwise_measured: int = 0
+
+    @property
+    def saved(self) -> int:
+        """Measurements avoided (cache hits + symmetry broadcasts)."""
+        return self.cache_hits + self.pruned
+
+    _COUNTERS = (
+        "issued",
+        "cache_hits",
+        "pruned",
+        "spot_checks",
+        "verify_fallbacks",
+        "pairwise_requested",
+        "pairwise_measured",
+    )
+
+    def as_dict(self) -> dict[str, int]:
+        data = {name: getattr(self, name) for name in self._COUNTERS}
+        data["saved"] = self.saved
+        return data
+
+    def merge(self, data: dict) -> None:
+        """Add previously accumulated counters (checkpoint resume)."""
+        for name in self._COUNTERS:
+            setattr(self, name, getattr(self, name) + int(data.get(name, 0)))
+
+
+class PlanExecutor:
+    """Execute measurement plans against a backend.
+
+    Parameters
+    ----------
+    backend:
+        The measurement backend (possibly wrapped by the resilience
+        decorators; attribute delegation makes those transparent).
+    prune:
+        ``"off"`` | ``"topology"`` | ``"verify"`` — see the module
+        docstring.  Topology modes require the backend to expose a
+        ``cluster`` model (the simulated backends do).
+    jobs:
+        Worker-pool width for wall-clock-bound backends.  Ignored (a
+        deliberate no-op, to keep results deterministic) for
+        virtual-time backends.
+    classifier:
+        Override the pair classifier (tests inject adversarial ones).
+    verify_tolerance:
+        Relative representative/spot-check disagreement that triggers a
+        full-measurement fallback in ``verify`` mode.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        prune: str = "off",
+        jobs: int = 1,
+        classifier: TopologyClassifier | None = None,
+        verify_tolerance: float = VERIFY_TOLERANCE,
+    ) -> None:
+        self.backend = backend
+        self.prune = validate_prune_mode(prune)
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        self.jobs = jobs
+        if classifier is None and self.prune != "off":
+            classifier = classifier_for(backend)
+            if classifier is None:
+                raise ConfigurationError(
+                    f"prune={self.prune!r} needs a backend with a cluster "
+                    "topology model; this backend has none (use prune='off')"
+                )
+        self.classifier = classifier
+        if verify_tolerance <= 0:
+            raise ConfigurationError("verify_tolerance must be > 0")
+        self.verify_tolerance = verify_tolerance
+        self.stats = PlannerStats()
+        self._memo: dict[Probe, object] = {}
+
+    # -- plan execution -----------------------------------------------------
+
+    def execute(self, plan: MeasurementPlan) -> dict[Probe, object]:
+        """Run a plan (memoized, dependency-ordered) and return results."""
+        fresh: list[PlanStep] = []
+        queued: set[Probe] = set()
+        for step in plan:
+            if step.probe in self._memo or step.probe in queued:
+                self.stats.cache_hits += 1
+                continue
+            queued.add(step.probe)
+            fresh.append(step)
+        self._run_steps(fresh)
+        return {step.probe: self._memo[step.probe] for step in plan}
+
+    def _run_steps(self, steps: list[PlanStep]) -> None:
+        if self._threaded and len(steps) > 1:
+            self._run_steps_pooled(steps)
+            return
+        for step in steps:
+            for dep in step.after:
+                if dep not in self._memo:
+                    raise ConfigurationError(
+                        f"probe depends on unexecuted probe {dep!r}"
+                    )
+            self._memo[step.probe] = self._measure(step.probe)
+            self.stats.issued += 1
+
+    @property
+    def _threaded(self) -> bool:
+        return self.jobs > 1 and bool(
+            getattr(self.backend, "wall_clock_bound", False)
+        )
+
+    def _run_steps_pooled(self, steps: list[PlanStep]) -> None:
+        """Wave-schedule independent probes on a worker pool.
+
+        Two probes may overlap only when their dependency edges allow it
+        *and* their core sets are disjoint — concurrent measurements
+        pinned to a common core would contend and corrupt each other.
+        """
+        remaining = list(steps)
+        busy: set[int] = set()
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            futures: dict = {}
+            while remaining or futures:
+                launched = True
+                while launched and len(futures) < self.jobs and remaining:
+                    launched = False
+                    for i, step in enumerate(remaining):
+                        cores = set(probe_cores(step.probe))
+                        deps_met = all(d in self._memo for d in step.after)
+                        if deps_met and not (cores & busy):
+                            busy |= cores
+                            futures[pool.submit(self._measure, step.probe)] = (
+                                step.probe
+                            )
+                            remaining.pop(i)
+                            launched = True
+                            break
+                if not futures:
+                    stuck = [step.probe for step in remaining]
+                    raise ConfigurationError(
+                        f"plan cannot make progress (circular or missing "
+                        f"dependencies): {stuck!r}"
+                    )
+                finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    probe = futures.pop(future)
+                    busy -= set(probe_cores(probe))
+                    self._memo[probe] = future.result()
+                    self.stats.issued += 1
+
+    def _measure(self, probe: Probe):
+        backend = self.backend
+        if isinstance(probe, TraversalProbe):
+            return backend.traversal_cycles(list(probe.arrays), probe.stride)
+        if isinstance(probe, StreamProbe):
+            return backend.copy_bandwidth(list(probe.cores))
+        if isinstance(probe, MessageProbe):
+            a, b = probe.pair
+            return backend.message_latency(a, b, probe.nbytes)
+        if isinstance(probe, ConcurrentMessageProbe):
+            return backend.concurrent_message_latency(
+                list(probe.pairs), probe.nbytes
+            )
+        raise ConfigurationError(f"unknown probe type {type(probe).__name__}")
+
+    # -- memoized single probes ---------------------------------------------
+
+    def _memoized(self, probe: Probe):
+        if probe in self._memo:
+            self.stats.cache_hits += 1
+            return self._memo[probe]
+        result = self._measure(probe)
+        self._memo[probe] = result
+        self.stats.issued += 1
+        return result
+
+    def traversal_cycles(
+        self,
+        arrays: Sequence[tuple[int, int]],
+        stride: int,
+        sample: int = 0,
+    ) -> dict[int, float]:
+        probe = TraversalProbe(
+            arrays=tuple((int(c), int(n)) for c, n in arrays),
+            stride=stride,
+            sample=sample,
+        )
+        return self._memoized(probe)
+
+    def copy_bandwidth(
+        self, cores: Sequence[int], sample: int = 0
+    ) -> dict[int, float]:
+        probe = StreamProbe(cores=tuple(int(c) for c in cores), sample=sample)
+        return self._memoized(probe)
+
+    def message_latency(
+        self, core_a: int, core_b: int, nbytes: int, sample: int = 0
+    ) -> float:
+        pair = (core_a, core_b) if core_a < core_b else (core_b, core_a)
+        probe = MessageProbe(pair=pair, nbytes=nbytes, sample=sample)
+        return self._memoized(probe)
+
+    def concurrent_message_latency(
+        self, pairs: Sequence[CorePair], nbytes: int, sample: int = 0
+    ) -> ConcurrentLatency:
+        probe = ConcurrentMessageProbe(
+            pairs=tuple(tuple(p) for p in pairs), nbytes=nbytes, sample=sample
+        )
+        return self._memoized(probe)
+
+    def traversal_reference(
+        self, core: int, array_bytes: int, stride: int, samples: int = 1
+    ) -> float:
+        """Mean single-core traversal cycles over ``samples`` repeats.
+
+        Each repeat is a distinct probe (fresh page placement is the
+        point of repeat-sampling) but the whole reference is memoized,
+        so asking again for the same (core, size, stride, sample) —
+        across levels, phases, or resumed runs — costs nothing.
+        """
+        values = [
+            self.traversal_cycles([(core, array_bytes)], stride, sample=s)[core]
+            for s in range(samples)
+        ]
+        return float(sum(values)) / len(values)
+
+    # -- pruned pairwise batches --------------------------------------------
+
+    def pairwise(
+        self,
+        pairs: Sequence[CorePair],
+        probe_factory: Callable[[CorePair, int], Probe],
+        value: Callable[[CorePair, list], float],
+        samples: int = 1,
+    ) -> dict[CorePair, float]:
+        """Measure a structurally identical probe for every core pair.
+
+        ``probe_factory(pair, sample)`` builds the probe for one pair
+        and sample index; the factory must mention the pair's cores in
+        the pair's sorted order, so a representative's raw result can be
+        re-keyed onto an equivalent pair.  ``value(pair, raws)`` reduces
+        the pair's per-sample raw results to the scalar the phase
+        clusters on.
+
+        With pruning off every pair is measured (still memoized and,
+        for wall-clock backends, scheduled concurrently).  With
+        ``topology``/``verify`` pruning only class representatives (and
+        spot checks) reach the backend; everything else is broadcast.
+        """
+        pairs = list(pairs)
+        if samples < 1:
+            raise ConfigurationError("samples must be >= 1")
+        self.stats.pairwise_requested += len(pairs) * samples
+
+        if self.prune == "off" or self.classifier is None:
+            self._measure_pairs(pairs, probe_factory, samples)
+            return self._values_of(pairs, probe_factory, value, samples)
+
+        classes = self.classifier.partition(pairs)
+        probed: list[CorePair] = []
+        spot_of: dict[int, CorePair | None] = {}
+        for idx, cls in enumerate(classes):
+            probed.append(cls.representative)
+            spot = cls.spot_check if self.prune == "verify" else None
+            spot_of[idx] = spot
+            if spot is not None:
+                probed.append(spot)
+                self.stats.spot_checks += samples
+        self._measure_pairs(probed, probe_factory, samples)
+
+        for idx, cls in enumerate(classes):
+            rep = cls.representative
+            spot = spot_of[idx]
+            measured = {rep} | ({spot} if spot is not None else set())
+            if spot is not None and self._diverges(
+                value(rep, self._raws(rep, probe_factory, samples)),
+                value(spot, self._raws(spot, probe_factory, samples)),
+            ):
+                # The machine is not as symmetric as the model claims:
+                # distrust the whole class and measure it for real.
+                self.stats.verify_fallbacks += 1
+                rest = [p for p in cls.pairs if p not in measured]
+                self._measure_pairs(rest, probe_factory, samples)
+                continue
+            for member in cls.pairs:
+                if member in measured:
+                    continue
+                for s in range(samples):
+                    src = probe_factory(rep, s)
+                    dst = probe_factory(member, s)
+                    if dst not in self._memo:
+                        self._memo[dst] = _rekey(src, dst, self._memo[src])
+                        self.stats.pruned += 1
+        return self._values_of(pairs, probe_factory, value, samples)
+
+    def pairwise_message_latency(
+        self, pairs: Sequence[CorePair], nbytes: int
+    ) -> dict[CorePair, float]:
+        """All-pairs message latency (the Fig. 5–7 workhorse)."""
+        return self.pairwise(
+            pairs,
+            probe_factory=lambda pair, s: MessageProbe(
+                pair=pair, nbytes=nbytes, sample=s
+            ),
+            value=lambda pair, raws: float(raws[0]),
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _measure_pairs(
+        self,
+        pairs: Sequence[CorePair],
+        probe_factory: Callable[[CorePair, int], Probe],
+        samples: int,
+    ) -> None:
+        plan = MeasurementPlan()
+        seen: set[Probe] = set()
+        for pair in pairs:
+            for s in range(samples):
+                probe = probe_factory(pair, s)
+                if probe not in seen:
+                    seen.add(probe)
+                    plan.add(probe)
+        before = self.stats.issued
+        self.execute(plan)
+        self.stats.pairwise_measured += self.stats.issued - before
+
+    def _raws(self, pair, probe_factory, samples: int) -> list:
+        return [self._memo[probe_factory(pair, s)] for s in range(samples)]
+
+    def _values_of(self, pairs, probe_factory, value, samples: int) -> dict:
+        return {
+            pair: value(pair, self._raws(pair, probe_factory, samples))
+            for pair in pairs
+        }
+
+    def _diverges(self, v_rep: float, v_spot: float) -> bool:
+        scale = max(abs(v_rep), abs(v_spot))
+        if scale == 0.0:
+            return False
+        return abs(v_rep - v_spot) / scale > self.verify_tolerance
+
+
+def _rekey(src: Probe, dst: Probe, raw):
+    """Re-key a representative's raw result onto an equivalent pair."""
+    if isinstance(raw, dict):
+        mapping = dict(zip(probe_cores(src), probe_cores(dst)))
+        return {mapping[core]: val for core, val in raw.items()}
+    return raw

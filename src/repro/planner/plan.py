@@ -1,0 +1,149 @@
+"""Measurement plans: what to probe, not how or when.
+
+The phase algorithms of :mod:`repro.core` historically issued blocking
+:class:`~repro.backends.base.Backend` calls inline, which makes every
+all-pairs stage O(n²) backend round-trips with no opportunity to
+deduplicate, prune, or overlap them.  A :class:`MeasurementPlan` turns
+each stage into data: a list of :class:`PlanStep` entries, each holding
+one *probe* (a frozen, hashable description of a single backend
+measurement) plus the probes it explicitly depends on.  The
+:class:`~repro.planner.executor.PlanExecutor` consumes plans and
+decides scheduling (serial and deterministic for simulated backends,
+a worker pool for wall-clock-bound ones), memoization, and symmetry
+pruning.
+
+Probes are value objects: two probes compare equal iff they describe
+the same measurement, which is exactly the memoization key.  The
+``sample`` field distinguishes *intentional* repeats (robust-sampling
+loops) from accidental duplicates — repeats carry distinct sample
+indices and are never deduplicated against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..errors import ConfigurationError
+from ..topology.machine import CorePair
+
+
+@dataclass(frozen=True)
+class TraversalProbe:
+    """One (possibly concurrent) mcalibrator traversal measurement."""
+
+    #: ``(core, array_bytes)`` per participating core, in call order.
+    arrays: tuple[tuple[int, int], ...]
+    stride: int
+    sample: int = 0
+
+    @property
+    def cores(self) -> tuple[int, ...]:
+        return tuple(core for core, _ in self.arrays)
+
+
+@dataclass(frozen=True)
+class StreamProbe:
+    """STREAM-copy bandwidth with ``cores`` running concurrently."""
+
+    cores: tuple[int, ...]
+    sample: int = 0
+
+
+@dataclass(frozen=True)
+class MessageProbe:
+    """Point-to-point latency between one pinned core pair."""
+
+    pair: CorePair
+    nbytes: int
+    sample: int = 0
+
+    @property
+    def cores(self) -> tuple[int, ...]:
+        return self.pair
+
+
+@dataclass(frozen=True)
+class ConcurrentMessageProbe:
+    """Per-message latency with every pair exchanging simultaneously."""
+
+    pairs: tuple[CorePair, ...]
+    nbytes: int
+    sample: int = 0
+
+    @property
+    def cores(self) -> tuple[int, ...]:
+        return tuple(core for pair in self.pairs for core in pair)
+
+
+Probe = Union[TraversalProbe, StreamProbe, MessageProbe, ConcurrentMessageProbe]
+
+#: Probe kinds whose results are pairwise scalars or per-core dicts.
+PROBE_KINDS: dict[type, str] = {
+    TraversalProbe: "traversal",
+    StreamProbe: "stream",
+    MessageProbe: "message",
+    ConcurrentMessageProbe: "concurrent_message",
+}
+
+
+def probe_kind(probe: Probe) -> str:
+    """Short kind name of a probe (stats bucketing, error messages)."""
+    try:
+        return PROBE_KINDS[type(probe)]
+    except KeyError:
+        raise ConfigurationError(f"unknown probe type {type(probe).__name__}")
+
+
+def probe_cores(probe: Probe) -> tuple[int, ...]:
+    """Every core a probe pins work to (conflict detection for the
+    wall-clock scheduler: probes sharing a core must not overlap)."""
+    return probe.cores
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One plan entry: a probe plus its explicit dependencies.
+
+    ``after`` lists probes that must have completed before this one may
+    run.  Dependencies exist for *measurement validity*, not dataflow:
+    e.g. a contention probe that must not overlap the baseline it will
+    be compared against.
+    """
+
+    probe: Probe
+    after: tuple[Probe, ...] = ()
+
+
+@dataclass
+class MeasurementPlan:
+    """An ordered batch of probes with explicit dependencies.
+
+    Steps must be added dependencies-first; :meth:`add` enforces this so
+    a plan is always a valid topological order and the serial executor
+    can simply walk it front to back.
+    """
+
+    steps: list[PlanStep] = field(default_factory=list)
+
+    def add(self, probe: Probe, after: tuple[Probe, ...] = ()) -> Probe:
+        """Append a probe (returns it, for chaining into ``after``)."""
+        known = {step.probe for step in self.steps}
+        for dep in after:
+            if dep not in known:
+                raise ConfigurationError(
+                    f"dependency {dep!r} must be added to the plan before "
+                    f"the probe that needs it"
+                )
+        self.steps.append(PlanStep(probe=probe, after=tuple(after)))
+        return probe
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    @property
+    def probes(self) -> list[Probe]:
+        return [step.probe for step in self.steps]

@@ -1,0 +1,142 @@
+"""Topology-equivalence classes of core pairs (the symmetry pruner).
+
+All three of Servet's pairwise phases (Figs. 5–7) probe every pair of
+cores, yet on a homogeneous cluster almost all of those pairs are
+equivalent *by construction*: a Dunnington L2-sharing pair behaves like
+every other L2-sharing pair, and any two inter-node pairs of identical
+nodes see the same interconnect.  hwloc-style topology tools exploit
+exactly this.  The classifier below derives a conservative equivalence
+signature for a pair from the :class:`~repro.topology.machine.Cluster`
+model:
+
+- pairs on different nodes are equivalent to each other (a cluster is
+  ``n_nodes`` *identical* machines behind a uniform interconnect);
+- local pairs are equivalent iff they share the same set of cache
+  levels, the same processor/cell relationship, and an isomorphic
+  position in the bandwidth-domain tree (same shared-domain capacities
+  and same per-core root-path capacities).
+
+The signature is deliberately *finer* than strictly necessary for any
+single probe kind — splitting a class never produces a wrong broadcast,
+it only costs a handful of extra measurements — and it stays O(#classes)
+on homogeneous machines, which is the whole point.
+
+Pruning trusts the machine *model*; ``verify`` mode spot-checks one
+extra pair per class against the representative and falls back to
+measuring the whole class when they diverge (heterogeneity insurance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..errors import ConfigurationError
+from ..topology.machine import Cluster, CorePair
+
+#: Recognized prune modes (CLI ``--prune`` and ``ServetSuite(prune=)``).
+PRUNE_MODES: tuple[str, ...] = ("off", "topology", "verify")
+
+
+def validate_prune_mode(mode: str) -> str:
+    if mode not in PRUNE_MODES:
+        raise ConfigurationError(
+            f"unknown prune mode {mode!r}; expected one of {PRUNE_MODES}"
+        )
+    return mode
+
+
+@dataclass(frozen=True)
+class PairClass:
+    """One equivalence class of core pairs.
+
+    ``pairs`` preserves the caller's order; the first pair is the
+    measured representative and the last one the ``verify``-mode spot
+    check (maximally far from the representative in enumeration order,
+    which on the built-in machines means a different instance of the
+    same structure).
+    """
+
+    signature: tuple
+    pairs: tuple[CorePair, ...]
+
+    @property
+    def representative(self) -> CorePair:
+        return self.pairs[0]
+
+    @property
+    def spot_check(self) -> CorePair | None:
+        """A second pair to verify the class against (None if singleton)."""
+        return self.pairs[-1] if len(self.pairs) > 1 else None
+
+
+class TopologyClassifier:
+    """Partitions core pairs into topology-equivalence classes."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._signatures: dict[CorePair, tuple] = {}
+
+    def signature(self, pair: CorePair) -> tuple:
+        """Hashable equivalence signature of a (sorted) core pair."""
+        cached = self._signatures.get(pair)
+        if cached is not None:
+            return cached
+        a, b = pair
+        cluster = self.cluster
+        if not cluster.same_node(a, b):
+            # Nodes are identical by construction and the interconnect
+            # is uniform, so every inter-node pair is equivalent.
+            sig: tuple = ("inter-node",)
+        else:
+            node = cluster.node
+            la, lb = cluster.local_core(a), cluster.local_core(b)
+            shared_levels = tuple(
+                level.spec.level
+                for level in node.levels
+                if level.shared_by(la, lb)
+            )
+            root = node.bandwidth_root
+            path_a = root.domains_of(la)
+            path_b = root.domains_of(lb)
+            shared_bw = tuple(
+                domain.capacity
+                for domain in path_a
+                if any(domain is other for other in path_b)
+            )
+            caps_a = tuple(domain.capacity for domain in path_a)
+            caps_b = tuple(domain.capacity for domain in path_b)
+            sig = (
+                "local",
+                shared_levels,
+                node.same_processor(la, lb),
+                node.same_cell(la, lb),
+                shared_bw,
+                tuple(sorted((caps_a, caps_b))),
+            )
+        self._signatures[pair] = sig
+        return sig
+
+    def partition(self, pairs: Sequence[CorePair]) -> list[PairClass]:
+        """Group pairs into classes, preserving first-seen order."""
+        buckets: dict[tuple, list[CorePair]] = {}
+        for pair in pairs:
+            buckets.setdefault(self.signature(pair), []).append(pair)
+        return [
+            PairClass(signature=sig, pairs=tuple(members))
+            for sig, members in buckets.items()
+        ]
+
+
+def classifier_for(backend) -> TopologyClassifier | None:
+    """Build a classifier from a backend's cluster model, if it has one.
+
+    Works through the resilience wrappers (they delegate unknown
+    attributes to the wrapped backend).  Returns None for backends with
+    no structural model (e.g. :class:`~repro.backends.native.NativeBackend`),
+    where symmetry pruning has nothing trustworthy to prune with.
+    """
+    cluster = getattr(backend, "cluster", None)
+    if cluster is None:
+        return None
+    return TopologyClassifier(cluster)
