@@ -1,0 +1,89 @@
+"""Tuning service: measure once, consult forever, refresh incrementally.
+
+The workflow the service layer exists for: a cluster is characterised
+once with the full Servet suite and the report is filed in a
+fingerprint-keyed registry.  Applications then ask a cached
+:class:`~repro.service.TuningService` for advice at run time — no
+re-measurement.  When the machine changes (here: the front-side bus
+loses half its bandwidth), the staleness analysis maps the changed
+fingerprint inputs to the minimal set of affected suite phases and
+re-measures only those, merging everything else from the stored report.
+
+Run with:  python examples/tuning_service.py
+"""
+
+import dataclasses
+import tempfile
+
+from repro import ReportRegistry, SimulatedBackend, dunnington, fingerprint_of
+from repro.core import ServetSuite
+from repro.service import (
+    MatmulTileQuery,
+    StreamingCoresQuery,
+    TuningService,
+    incremental_refresh,
+    run_harness,
+)
+
+
+def degrade_fsb(machine):
+    """The same Dunnington node after losing half its FSB bandwidth."""
+    root = machine.bandwidth_root
+    return dataclasses.replace(
+        machine, bandwidth_root=dataclasses.replace(root, capacity=root.capacity / 2)
+    )
+
+
+def main() -> None:
+    registry_dir = tempfile.mkdtemp(prefix="servet-registry-")
+    registry = ReportRegistry(registry_dir)
+
+    # --- 1. install: measure the machine once, file the report -------
+    machine = dunnington()
+    backend = SimulatedBackend(machine, seed=42, noise=0.0)
+    print(f"Measuring {machine.name} ({machine.n_cores} cores)...")
+    report = ServetSuite(backend).run()
+    fp = fingerprint_of(backend)
+    entry = registry.put(fp, report)
+    print(f"registered as {fp.short} v{entry.version}")
+
+    # --- 2. consult: serve cached advice out of the registry ---------
+    service = TuningService.from_registry(registry)
+    for level in (1, 2, 3):
+        answer = service.query(MatmulTileQuery(level=level))
+        print(f"matmul tile for L{level}: {answer['side']} x {answer['side']}")
+    cores = service.query(StreamingCoresQuery(group_index=0))
+    print(f"streaming cores worth using: {cores['cores']}")
+
+    result = run_harness(service, clients=4, queries_per_client=250, seed=11)
+    metrics = service.metrics()
+    print(
+        f"harness: {result.queries} queries, {result.mismatches} mismatches, "
+        f"hit rate {metrics['hit_rate']:.1%}"
+    )
+
+    # --- 3. refresh: the machine changed, re-measure only what moved -
+    degraded = degrade_fsb(machine)
+    new_backend = SimulatedBackend(degraded, seed=42, noise=0.0)
+    refresh = incremental_refresh(registry, new_backend)
+    print(f"changed inputs: {list(refresh.staleness.changed)}")
+    print(f"stale phases: {list(refresh.staleness.affected)}")
+    print(f"refresh mode: {refresh.mode}")
+    planner = refresh.report.to_dict()["planner"]
+    print(f"probes issued by the refresh: {planner['issued']}")
+
+    # The refreshed report picks up the degraded memory system...
+    old_bw = report.memory_levels[0].bandwidth
+    new_bw = refresh.report.memory_levels[0].bandwidth
+    print(f"overhead-level bandwidth: {old_bw / 1e9:.2f}GB/s -> {new_bw / 1e9:.2f}GB/s")
+    # ...while the untouched sections carry over from the stored report.
+    assert [c.size for c in refresh.report.caches] == [
+        c.size for c in report.caches
+    ], "cache sections should be reused, not re-measured"
+    print("cache hierarchy reused from the stored report")
+
+    print(f"registry now holds {len(registry.entries())} report(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,9 @@ The package has three strata (see DESIGN.md):
   interface only.
 - **Autotuning** (:mod:`repro.autotune`) — the Section V consumers of a
   :class:`ServetReport`.
+- **Tuning service** (:mod:`repro.service`) — the install-once,
+  consult-forever layer: fingerprint-keyed report registry, concurrent
+  cached query serving, staleness-driven incremental re-measurement.
 
 Quickstart::
 
@@ -42,6 +45,16 @@ from .resilience import (
     RetryPolicy,
     SamplingPolicy,
     SuiteCheckpoint,
+)
+from .service import (
+    MachineFingerprint,
+    ReportRegistry,
+    TuningService,
+    assess_staleness,
+    fingerprint_of,
+    incremental_refresh,
+    machine_fingerprint,
+    run_harness,
 )
 from .topology import (
     Cluster,
@@ -79,6 +92,14 @@ __all__ = [
     "RetryPolicy",
     "SamplingPolicy",
     "SuiteCheckpoint",
+    "MachineFingerprint",
+    "ReportRegistry",
+    "TuningService",
+    "assess_staleness",
+    "fingerprint_of",
+    "incremental_refresh",
+    "machine_fingerprint",
+    "run_harness",
     "Cluster",
     "Machine",
     "athlon_3200",

@@ -5,16 +5,26 @@ Subcommands:
 - ``servet machines`` — list the built-in machine models.
 - ``servet run --machine dunnington -o report.json`` — run the full
   suite on a simulated machine and store the report (the paper's
-  install-time step).
-- ``servet report report.json`` — pretty-print a stored report.
+  install-time step).  With ``--registry`` the report is also published
+  into the fingerprint-keyed report registry.
+- ``servet report report.json`` — pretty-print a stored report
+  (``--registry`` + a fingerprint spec or ``latest`` instead of a path).
 - ``servet advise report.json --matmul-elem 8`` — sample autotuning
-  answers derived from a report.
+  answers derived from a report (registry specs work here too).
+- ``servet serve`` — drive the in-process tuning service with the
+  deterministic concurrent-client harness and print cache metrics.
+- ``servet query SPEC KIND`` — answer one tuning query from a stored
+  report.
+- ``servet registry list|gc`` — inspect / garbage-collect the registry.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+from pathlib import Path
 from collections.abc import Sequence
 
 from .autotune import Advisor
@@ -31,6 +41,14 @@ from .resilience import (
 )
 from .netsim import default_comm_config
 from .planner import PRUNE_MODES
+from .service import (
+    ReportRegistry,
+    TuningService,
+    fingerprint_of,
+    incremental_refresh,
+    query_from_spec,
+    run_harness,
+)
 from .topology import (
     Cluster,
     build_machine,
@@ -38,6 +56,12 @@ from .topology import (
     finis_terrae,
     load_cluster,
     save_cluster,
+)
+
+
+#: Default registry root: ``$SERVET_REGISTRY`` or ``~/.servet/registry``.
+DEFAULT_REGISTRY = os.environ.get(
+    "SERVET_REGISTRY", str(Path.home() / ".servet" / "registry")
 )
 
 
@@ -135,13 +159,179 @@ def _build_parser() -> argparse.ArgumentParser:
         "serially to stay deterministic)",
     )
 
+    run.add_argument(
+        "--registry",
+        default=None,
+        metavar="DIR",
+        help="also publish the report into this fingerprint-keyed "
+        "registry (see 'servet registry')",
+    )
+
     rep = sub.add_parser("report", help="pretty-print a stored report")
-    rep.add_argument("path", help="JSON report produced by 'servet run'")
+    rep.add_argument(
+        "path",
+        help="JSON report produced by 'servet run' (with --registry: a "
+        "fingerprint digest/prefix or 'latest')",
+    )
+    rep.add_argument(
+        "--registry",
+        nargs="?",
+        const=DEFAULT_REGISTRY,
+        default=None,
+        metavar="DIR",
+        help="read from this report registry instead of a file path "
+        f"(default {DEFAULT_REGISTRY})",
+    )
 
     adv = sub.add_parser("advise", help="sample autotuning answers for a report")
-    adv.add_argument("path", help="JSON report produced by 'servet run'")
+    adv.add_argument(
+        "path",
+        help="JSON report produced by 'servet run' (with --registry: a "
+        "fingerprint digest/prefix or 'latest')",
+    )
     adv.add_argument(
         "--matmul-elem", type=int, default=8, help="matrix element size in bytes"
+    )
+    adv.add_argument(
+        "--registry",
+        nargs="?",
+        const=DEFAULT_REGISTRY,
+        default=None,
+        metavar="DIR",
+        help="read from this report registry instead of a file path "
+        f"(default {DEFAULT_REGISTRY})",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="start the in-process tuning service and drive it with the "
+        "deterministic concurrent-client harness",
+    )
+    srv.add_argument(
+        "--report", default=None, metavar="PATH", help="serve this report file"
+    )
+    srv.add_argument(
+        "--registry",
+        default=DEFAULT_REGISTRY,
+        metavar="DIR",
+        help="serve from this registry when --report is not given",
+    )
+    srv.add_argument(
+        "--fingerprint",
+        default="latest",
+        help="registry spec to serve: digest, unique prefix, or 'latest'",
+    )
+    srv.add_argument("--clients", type=int, default=8, help="concurrent clients")
+    srv.add_argument(
+        "--queries", type=int, default=500, help="queries per client"
+    )
+    srv.add_argument("--seed", type=int, default=1234, help="harness RNG seed")
+    srv.add_argument(
+        "--capacity", type=int, default=4096, help="answer-cache capacity"
+    )
+    srv.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        help="answer-cache TTL in seconds (default: no expiry)",
+    )
+
+    qry = sub.add_parser("query", help="answer one tuning query from a report")
+    qry.add_argument(
+        "path",
+        help="report file (with --registry: digest/prefix or 'latest')",
+    )
+    qry.add_argument(
+        "kind",
+        choices=[
+            "tile",
+            "matmul-tile",
+            "streaming-cores",
+            "aggregate",
+            "bcast",
+            "latency",
+        ],
+        help="which question to ask",
+    )
+    qry.add_argument(
+        "--registry",
+        nargs="?",
+        const=DEFAULT_REGISTRY,
+        default=None,
+        metavar="DIR",
+        help="read from this report registry instead of a file path",
+    )
+    qry.add_argument("--level", type=int, default=1, help="cache level (tiling)")
+    qry.add_argument(
+        "--arrays", type=int, default=1, help="arrays sharing the tile (tiling)"
+    )
+    qry.add_argument(
+        "--elem", type=int, default=8, help="element size in bytes (tiling)"
+    )
+    qry.add_argument(
+        "--group", type=int, default=0, help="overhead group (streaming-cores)"
+    )
+    qry.add_argument(
+        "--pair",
+        default=None,
+        metavar="A,B",
+        help="core pair (aggregate/latency), e.g. 0,12",
+    )
+    qry.add_argument(
+        "--messages", type=int, default=16, help="message count (aggregate)"
+    )
+    qry.add_argument(
+        "--size", type=int, default=4096, help="message size in bytes"
+    )
+    qry.add_argument(
+        "--placement",
+        default=None,
+        metavar="C0,C1,...",
+        help="rank-to-core placement (bcast)",
+    )
+    qry.add_argument("--root", type=int, default=0, help="broadcast root rank")
+
+    reg = sub.add_parser("registry", help="inspect the report registry")
+    reg_sub = reg.add_subparsers(dest="registry_command", required=True)
+    reg_list = reg_sub.add_parser("list", help="list stored report versions")
+    reg_list.add_argument(
+        "--registry", default=DEFAULT_REGISTRY, metavar="DIR", help="registry root"
+    )
+    reg_gc = reg_sub.add_parser("gc", help="drop old report versions")
+    reg_gc.add_argument(
+        "--registry", default=DEFAULT_REGISTRY, metavar="DIR", help="registry root"
+    )
+    reg_gc.add_argument(
+        "--keep", type=int, default=1, help="versions to keep per fingerprint"
+    )
+    reg_refresh = reg_sub.add_parser(
+        "refresh",
+        help="incrementally re-measure a stored report against a (changed) "
+        "machine model",
+    )
+    reg_refresh.add_argument(
+        "--registry", default=DEFAULT_REGISTRY, metavar="DIR", help="registry root"
+    )
+    reg_refresh.add_argument(
+        "--base", default="latest", help="stored report to refresh from"
+    )
+    reg_refresh.add_argument(
+        "--machine", default="dunnington", help=f"one of: {', '.join(builder_names())}"
+    )
+    reg_refresh.add_argument(
+        "--machine-file",
+        default=None,
+        help="JSON cluster description; overrides --machine",
+    )
+    reg_refresh.add_argument(
+        "--nodes", type=int, default=1, help="cluster nodes (finis_terrae only)"
+    )
+    reg_refresh.add_argument("--seed", type=int, default=42, help="RNG seed")
+    reg_refresh.add_argument(
+        "--noise", type=float, default=0.01, help="relative measurement noise"
+    )
+    reg_refresh.add_argument(
+        "--prune", choices=list(PRUNE_MODES), default="off", help="prune mode"
     )
 
     val = sub.add_parser(
@@ -177,7 +367,8 @@ def _cmd_machines() -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _build_system(args: argparse.Namespace):
+    """The (system, comm_config) a machine-selecting command names."""
     comm_config = None
     if args.machine_file is not None:
         system, comm_config = load_cluster(args.machine_file)
@@ -190,6 +381,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         system = build_machine(args.machine)
+    return system, comm_config
+
+
+def _load_report_arg(path_or_spec: str, registry: str | None) -> ServetReport:
+    """A report named either by file path or by registry spec."""
+    if registry is not None:
+        return ReportRegistry(registry).get(path_or_spec)
+    return ServetReport.load(path_or_spec)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    system, comm_config = _build_system(args)
     backend = SimulatedBackend(
         system, comm_config=comm_config, seed=args.seed, noise=args.noise
     )
@@ -232,17 +435,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.output:
         report.save(args.output)
         print(f"\nreport written to {args.output}")
+    if args.registry:
+        fingerprint = fingerprint_of(backend, options={"prune": args.prune})
+        entry = ReportRegistry(args.registry).put(fingerprint, report)
+        print(
+            f"report registered as {entry.short} v{entry.version} "
+            f"in {args.registry}"
+        )
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    print(ServetReport.load(args.path).summary())
+    print(_load_report_arg(args.path, args.registry).summary())
     return 0
 
 
 def _cmd_advise(args: argparse.Namespace) -> int:
-    advisor = Advisor.from_file(args.path)
-    report = advisor.report
+    report = _load_report_arg(args.path, args.registry)
+    advisor = Advisor(report)
     print(f"Autotuning advice for {report.system}:")
     plan = advisor.matmul_tiles(elem_size=args.matmul_elem)
     for level, side in sorted(plan.sides.items()):
@@ -306,6 +516,111 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.report is not None:
+        report = ServetReport.load(args.report)
+        source = args.report
+    else:
+        report = ReportRegistry(args.registry).get(args.fingerprint)
+        source = f"{args.registry} [{args.fingerprint}]"
+    service = TuningService(report, capacity=args.capacity, ttl=args.ttl)
+    print(f"tuning service for {report.system} ({source})")
+    result = run_harness(
+        service,
+        clients=args.clients,
+        queries_per_client=args.queries,
+        seed=args.seed,
+    )
+    metrics = result.metrics
+    print(
+        f"harness: {result.queries} queries from {result.clients} clients "
+        f"in {result.wall_seconds * 1e3:.1f} ms "
+        f"({result.queries_per_second:,.0f} q/s)"
+    )
+    print(
+        f"cache: {metrics['hits']} hits / {metrics['misses']} misses "
+        f"(hit rate {100 * metrics['hit_rate']:.1f}%), "
+        f"{metrics['cache_entries']} entries, "
+        f"{metrics['evictions']} evictions"
+    )
+    print(
+        "latency: p50 {:.1f} us, p90 {:.1f} us, p99 {:.1f} us".format(
+            metrics["latency_p50"] * 1e6,
+            metrics["latency_p90"] * 1e6,
+            metrics["latency_p99"] * 1e6,
+        )
+    )
+    if result.mismatches:
+        print(
+            f"ERROR: {result.mismatches} answers diverged from the "
+            "uncached reference",
+            file=sys.stderr,
+        )
+        return 1
+    print("all answers match the uncached reference")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    report = _load_report_arg(args.path, args.registry)
+    params: dict = {
+        "level": args.level,
+        "n_arrays": args.arrays,
+        "elem_size": args.elem,
+        "group_index": args.group,
+        "n_messages": args.messages,
+        "message_size": args.size,
+        "nbytes": args.size,
+        "root": args.root,
+    }
+    if args.pair is not None:
+        core_a, core_b = (int(c) for c in args.pair.split(","))
+        params["core_a"], params["core_b"] = core_a, core_b
+    if args.placement is not None:
+        params["placement"] = [int(c) for c in args.placement.split(",")]
+    service = TuningService(report)
+    result = service.query(query_from_spec(args.kind, report, **params))
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    registry = ReportRegistry(args.registry)
+    if args.registry_command == "list":
+        entries = registry.entries()
+        if not entries:
+            print(f"registry {args.registry} is empty")
+            return 0
+        print(f"registry {args.registry}:")
+        for entry in entries:
+            print(
+                f"  {entry.short} v{entry.version}  {entry.system} "
+                f"({entry.n_cores} cores, schema v{entry.schema_version})"
+            )
+        return 0
+    if args.registry_command == "gc":
+        removed = registry.gc(keep=args.keep)
+        print(f"removed {len(removed)} file(s), keeping {args.keep} per fingerprint")
+        return 0
+    if args.registry_command == "refresh":
+        system, comm_config = _build_system(args)
+        backend = SimulatedBackend(
+            system, comm_config=comm_config, seed=args.seed, noise=args.noise
+        )
+        result = incremental_refresh(
+            registry, backend, base=args.base, options={"prune": args.prune}
+        )
+        print(result.staleness.summary())
+        print(f"refresh mode: {result.mode}")
+        if result.entry is not None:
+            print(
+                f"stored as {result.entry.short} v{result.entry.version} "
+                f"(probes issued: {result.report.planner.get('issued', 0)})"
+            )
+        return 0
+    raise AssertionError("unreachable")
+
+
 def _cmd_export_machine(args: argparse.Namespace) -> int:
     if args.machine == "finis_terrae" and args.nodes > 1:
         cluster = finis_terrae(args.nodes)
@@ -331,6 +646,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_advise(args)
         if args.command == "validate":
             return _cmd_validate(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "query":
+            return _cmd_query(args)
+        if args.command == "registry":
+            return _cmd_registry(args)
         if args.command == "export-machine":
             return _cmd_export_machine(args)
     except ReproError as exc:

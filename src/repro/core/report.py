@@ -14,6 +14,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from ..errors import ReproError
+from ..ioutils import atomic_write_text
 from ..topology.machine import CorePair
 from ..units import format_bandwidth, format_size, format_time
 
@@ -298,8 +299,13 @@ class ServetReport:
             raise ReproError(f"malformed report data: {exc}") from exc
 
     def save(self, path: str | Path) -> None:
-        """Write the report as JSON."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+        """Write the report as JSON, atomically.
+
+        The same temp-file-then-rename helper the report registry uses
+        (:func:`repro.ioutils.atomic_write_text`): a crash mid-save can
+        never leave a truncated report where a good one used to be.
+        """
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2))
 
     @classmethod
     def load(cls, path: str | Path) -> "ServetReport":

@@ -73,3 +73,22 @@ class CheckpointError(ReproError):
     Examples: a checkpoint file for a different machine/configuration,
     an unsupported checkpoint version, or corrupt JSON.
     """
+
+
+class ServiceError(ReproError):
+    """The tuning service could not answer or refresh.
+
+    Examples: a backend without a cluster model to fingerprint, a query
+    the loaded report cannot answer, an incremental refresh whose base
+    report is missing.
+    """
+
+
+class RegistryError(ServiceError):
+    """A report-registry operation failed.
+
+    Examples: an unknown or ambiguous fingerprint spec, a version file
+    whose checksum does not match (the file is quarantined, then this
+    is raised only if no intact version remains), an unsupported schema
+    version with no registered migration.
+    """

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..errors import CheckpointError
+from ..ioutils import atomic_write_text
 
 __all__ = ["CHECKPOINT_VERSION", "SuiteCheckpoint", "rng_state_of", "restore_rng"]
 
@@ -106,10 +107,7 @@ class SuiteCheckpoint:
     def save(self, path: str | Path) -> None:
         """Write atomically (tmp file + rename) so a crash mid-write
         never leaves a truncated checkpoint behind."""
-        path = Path(path)
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_text(json.dumps(self.to_dict(), indent=2))
-        tmp.replace(path)
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2))
 
     @classmethod
     def load(cls, path: str | Path) -> "SuiteCheckpoint":

@@ -1,0 +1,158 @@
+"""Deterministic machine fingerprints: the tuning service's key space.
+
+A :class:`MachineFingerprint` identifies *what a stored report is a
+report of*: the full topology model (:func:`cluster_to_dict`), the
+communication model if the backend carries one, the suite options that
+shaped the measurements (core selections, TLB probing, prune mode), and
+the report schema version.  Hashing the canonical JSON of those inputs
+gives a digest that is stable across processes and dict orderings —
+reports land in the registry under it, and the staleness analysis diffs
+the stored inputs against a live fingerprint to decide which suite
+phases must be re-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ServiceError
+from ..ioutils import canonical_json, sha256_hex
+from ..netsim.model import CommConfig
+from ..topology.machine import Cluster, Machine
+from ..topology.serialization import cluster_to_dict, comm_config_to_dict
+
+#: Version of the fingerprint input layout itself.  Bump when the
+#: structure of :attr:`MachineFingerprint.inputs` changes, so digests
+#: from incompatible layouts can never collide.
+FINGERPRINT_VERSION = 1
+
+#: Version of the report payload schema the registry stores.  Version 1
+#: is the bare ``ServetReport.to_dict()`` JSON that ``ServetReport.save``
+#: has always written (no envelope, no checksum); version 2 wraps the
+#: payload in the registry envelope.  Lives here — not in registry.py —
+#: because the schema version is part of a report's *identity*: a
+#: report saved under an older schema is a different artifact even on
+#: identical hardware.
+REPORT_SCHEMA_VERSION = 2
+
+#: Suite options that participate in the fingerprint, with the
+#: defaults :class:`~repro.core.suite.ServetSuite` applies.
+DEFAULT_OPTIONS: dict[str, Any] = {
+    "node_cores": None,
+    "comm_cores": None,
+    "probe_tlb": True,
+    "prune": "off",
+}
+
+
+def normalize_options(options: dict | None = None, **overrides) -> dict:
+    """Fill in suite-option defaults and normalize value types.
+
+    Unknown keys are rejected: a typo'd option would otherwise silently
+    produce a fresh digest and orphan every stored report.
+    """
+    merged = dict(DEFAULT_OPTIONS)
+    for source in (options or {}), overrides:
+        for key, value in source.items():
+            if key not in DEFAULT_OPTIONS:
+                raise ServiceError(
+                    f"unknown suite option {key!r} (expected one of "
+                    f"{sorted(DEFAULT_OPTIONS)})"
+                )
+            merged[key] = value
+    for key in ("node_cores", "comm_cores"):
+        if merged[key] is not None:
+            merged[key] = [int(c) for c in merged[key]]
+    merged["probe_tlb"] = bool(merged["probe_tlb"])
+    merged["prune"] = str(merged["prune"])
+    return merged
+
+
+@dataclass(frozen=True)
+class MachineFingerprint:
+    """A digest plus the exact inputs that produced it.
+
+    Keeping the inputs next to the digest is what makes incremental
+    re-measurement possible: the registry stores them, and
+    :mod:`repro.service.staleness` diffs stored against live inputs to
+    name the changed parameters.
+    """
+
+    digest: str
+    inputs: dict
+
+    @property
+    def short(self) -> str:
+        """Abbreviated digest for display (still unique in practice)."""
+        return self.digest[:12]
+
+
+def machine_fingerprint(
+    system: Machine | Cluster,
+    comm: CommConfig | None = None,
+    options: dict | None = None,
+) -> MachineFingerprint:
+    """Fingerprint a machine/cluster model plus suite options."""
+    if isinstance(system, Machine):
+        system = Cluster(system.name, system, n_nodes=1)
+    inputs = {
+        "fingerprint_version": FINGERPRINT_VERSION,
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "topology": cluster_to_dict(system),
+        "comm": comm_config_to_dict(comm) if comm is not None else None,
+        "options": normalize_options(options),
+    }
+    return MachineFingerprint(digest=sha256_hex(canonical_json(inputs)), inputs=inputs)
+
+
+def fingerprint_of(backend, options: dict | None = None) -> MachineFingerprint:
+    """Fingerprint a live backend (through any resilience wrappers).
+
+    Requires the backend to expose a ``cluster`` topology model, as the
+    simulated backends do; the communication model is included when the
+    backend carries one.
+    """
+    cluster = getattr(backend, "cluster", None)
+    if cluster is None:
+        raise ServiceError(
+            f"backend {getattr(backend, 'name', backend)!r} has no cluster "
+            "topology model to fingerprint"
+        )
+    comm = getattr(backend, "comm_config", None)
+    return machine_fingerprint(cluster, comm=comm, options=options)
+
+
+# -- input diffing (consumed by repro.service.staleness) -----------------
+
+
+def flatten_inputs(value, prefix: str = "") -> dict[str, str]:
+    """Flatten a fingerprint's inputs into dotted leaf paths.
+
+    Dicts recurse with ``.key``, lists with ``[i]``; every leaf value is
+    rendered through :func:`canonical_json` so comparisons are exact.
+    """
+    flat: dict[str, str] = {}
+    if isinstance(value, dict):
+        for key in sorted(value):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_inputs(value[key], child))
+    elif isinstance(value, list):
+        for i, item in enumerate(value):
+            flat.update(flatten_inputs(item, f"{prefix}[{i}]"))
+        if not value:
+            flat[prefix] = "[]"
+    else:
+        flat[prefix] = canonical_json(value)
+    return flat
+
+
+def diff_inputs(stored: dict, live: dict) -> list[str]:
+    """Paths whose values differ between two fingerprint inputs.
+
+    Added and removed paths count as changed.  Returned sorted, so the
+    staleness report (and its tests) are deterministic.
+    """
+    a, b = flatten_inputs(stored), flatten_inputs(live)
+    changed = {path for path in a.keys() | b.keys() if a.get(path) != b.get(path)}
+    return sorted(changed)

@@ -1,0 +1,457 @@
+"""In-process tuning service: cached answers to ``Advisor`` queries.
+
+LIKWID-style always-available query layer over one stored report.
+Applications ask typed, hashable :class:`Query` value objects — tile
+size, streaming-core throttling, message aggregation, collective
+choice, point-to-point latency — and the service answers through an
+LRU+TTL cache in front of the (comparatively expensive) autotuning
+helpers.  Every answer is a plain dict of JSON scalars, so results can
+be cached, compared, and shipped over any transport without caring
+about the advisor's internal dataclasses.
+
+Observability: per-query hit/miss/eviction/expiration counters and
+latency percentiles (:meth:`TuningService.metrics`).
+
+Correctness under load is proved, not assumed: :func:`run_harness`
+drives thousands of queries from concurrent client threads, checks
+every answer against an uncached reference advisor, and reports the
+hit rate — the bench and the integration tests pin a warm hit rate
+>= 90% with zero wrong answers.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+
+from ..autotune import Advisor
+from ..core.report import ServetReport
+from ..errors import ServiceError
+from .fingerprint import normalize_options
+
+#: Union of the query value objects the service answers.
+Query = object
+
+
+@dataclass(frozen=True)
+class TileQuery:
+    """Elements per tile for ``n_arrays`` arrays in cache ``level``."""
+
+    level: int
+    n_arrays: int = 1
+    elem_size: int = 8
+
+
+@dataclass(frozen=True)
+class MatmulTileQuery:
+    """Blocked-matmul tile side for one cache level."""
+
+    level: int
+    elem_size: int = 8
+
+
+@dataclass(frozen=True)
+class StreamingCoresQuery:
+    """How many cores of an overhead group are worth streaming from."""
+
+    group_index: int = 0
+    efficiency_floor: float = 0.5
+
+
+@dataclass(frozen=True)
+class AggregationQuery:
+    """Aggregate-or-not for N messages between two cores."""
+
+    core_a: int
+    core_b: int
+    n_messages: int
+    message_size: int
+
+
+@dataclass(frozen=True)
+class BcastQuery:
+    """Flat vs hierarchical broadcast for a placement and size."""
+
+    placement: tuple[int, ...]
+    nbytes: int
+    root: int = 0
+
+
+@dataclass(frozen=True)
+class CommLatencyQuery:
+    """Estimated point-to-point latency for a pair and message size."""
+
+    core_a: int
+    core_b: int
+    nbytes: int
+
+
+def answer(advisor: Advisor, query: Query) -> dict:
+    """Compute one query's answer, uncached, as plain JSON scalars.
+
+    This is the single source of truth the cache stores and the
+    concurrent harness verifies against.
+    """
+    if isinstance(query, TileQuery):
+        return {
+            "elements": int(
+                advisor.tile_elements(query.level, query.n_arrays, query.elem_size)
+            )
+        }
+    if isinstance(query, MatmulTileQuery):
+        return {"side": int(advisor.matmul_tile(query.level, query.elem_size))}
+    if isinstance(query, StreamingCoresQuery):
+        return {
+            "cores": int(
+                advisor.max_useful_streaming_cores(
+                    query.group_index, query.efficiency_floor
+                )
+            )
+        }
+    if isinstance(query, AggregationQuery):
+        advice = advisor.should_aggregate(
+            query.core_a, query.core_b, query.n_messages, query.message_size
+        )
+        return {
+            "aggregate": bool(advice.aggregate),
+            "speedup": float(advice.speedup),
+            "separate_time": float(advice.separate_time),
+            "aggregated_time": float(advice.aggregated_time),
+            "layer_index": int(advice.layer_index),
+        }
+    if isinstance(query, BcastQuery):
+        choice = advisor.choose_bcast(
+            list(query.placement), query.nbytes, root=query.root
+        )
+        return {
+            "algorithm": str(choice.algorithm),
+            "flat_time": float(choice.flat_time),
+            "hierarchical_time": float(choice.hierarchical_time),
+            "predicted_speedup": float(choice.predicted_speedup),
+        }
+    if isinstance(query, CommLatencyQuery):
+        layer = advisor.report.comm_layer_of(query.core_a, query.core_b)
+        return {
+            "latency": float(layer.estimate_latency(query.nbytes)),
+            "layer_index": int(layer.index),
+        }
+    raise ServiceError(f"unknown query type {type(query).__name__}")
+
+
+class LRUTTLCache:
+    """Thread-safe LRU cache with optional per-entry time-to-live.
+
+    ``ttl=None`` disables expiry (a report is immutable, so answers
+    only go stale when the service is pointed at a new report — the
+    TTL exists for deployments that hot-swap the registry underneath).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError("cache capacity must be >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ServiceError("cache ttl must be > 0 (or None)")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[object, tuple[float, object]] = OrderedDict()
+        self.evictions = 0
+        self.expirations = 0
+
+    def get(self, key) -> tuple[bool, object]:
+        """``(hit, value)``; expired entries count as misses."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False, None
+            stored_at, value = entry
+            if self.ttl is not None and self._clock() - stored_at > self.ttl:
+                del self._entries[key]
+                self.expirations += 1
+                return False, None
+            self._entries.move_to_end(key)
+            return True, value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (self._clock(), value)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: Latency samples kept for the percentile estimates (newest wins).
+_LATENCY_WINDOW = 8192
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+class TuningService:
+    """Concurrent query answering over one report, with an answer cache.
+
+    Parameters
+    ----------
+    report:
+        The report to answer from (see :meth:`from_registry`).
+    capacity / ttl / clock:
+        Answer-cache shape (see :class:`LRUTTLCache`).
+    timer:
+        Latency clock for the per-query metrics (injectable for
+        deterministic tests).
+    """
+
+    def __init__(
+        self,
+        report: ServetReport,
+        capacity: int = 4096,
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        timer: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.report = report
+        self.advisor = Advisor(report)
+        self.cache = LRUTTLCache(capacity=capacity, ttl=ttl, clock=clock)
+        self._timer = timer
+        self._metrics_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._latencies: list[float] = []
+
+    @classmethod
+    def from_registry(
+        cls, registry, spec: str = "latest", version: int | None = None, **kwargs
+    ) -> "TuningService":
+        """Serve the report a registry spec names (newest by default)."""
+        return cls(registry.get(spec, version=version), **kwargs)
+
+    def query(self, query: Query) -> dict:
+        """Answer one query, cache-first."""
+        start = self._timer()
+        hit, value = self.cache.get(query)
+        if not hit:
+            # Compute outside the cache lock: concurrent misses on the
+            # same key may duplicate work, but answers are deterministic
+            # so the last writer stores the same value.
+            value = answer(self.advisor, query)
+            self.cache.put(query, value)
+        elapsed = self._timer() - start
+        with self._metrics_lock:
+            if hit:
+                self._hits += 1
+            else:
+                self._misses += 1
+            self._latencies.append(elapsed)
+            if len(self._latencies) > _LATENCY_WINDOW:
+                del self._latencies[: -_LATENCY_WINDOW]
+        return value
+
+    def metrics(self) -> dict:
+        """Hit/miss counters, cache occupancy, latency percentiles."""
+        with self._metrics_lock:
+            hits, misses = self._hits, self._misses
+            samples = list(self._latencies)
+        total = hits + misses
+        return {
+            "queries": total,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+            "evictions": self.cache.evictions,
+            "expirations": self.cache.expirations,
+            "cache_entries": len(self.cache),
+            "latency_p50": _percentile(samples, 0.50),
+            "latency_p90": _percentile(samples, 0.90),
+            "latency_p99": _percentile(samples, 0.99),
+        }
+
+
+# -- deterministic concurrent-client harness -----------------------------
+
+
+@dataclass
+class HarnessResult:
+    """Outcome of one concurrent-client drive of a service."""
+
+    clients: int
+    queries: int
+    wall_seconds: float
+    mismatches: int
+    hit_rate: float
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.queries / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+def default_query_pool(report: ServetReport) -> list[Query]:
+    """A representative query mix derived from what a report contains."""
+    pool: list[Query] = []
+    for cache in report.caches:
+        for n_arrays in (1, 2, 3):
+            pool.append(TileQuery(cache.level, n_arrays, 8))
+        pool.append(MatmulTileQuery(cache.level, 8))
+        pool.append(MatmulTileQuery(cache.level, 4))
+    for index in range(len(report.memory_levels)):
+        pool.append(StreamingCoresQuery(index, 0.5))
+    for layer in report.comm_layers:
+        if not layer.pairs:
+            continue
+        a, b = layer.pairs[0]
+        for n_messages in (4, 16):
+            for size in (1024, 8192):
+                pool.append(AggregationQuery(a, b, n_messages, size))
+        pool.append(CommLatencyQuery(a, b, 512))
+        pool.append(CommLatencyQuery(a, b, 64 * 1024))
+    if report.comm_layers and report.n_cores >= 4:
+        pool.append(BcastQuery(tuple(range(4)), 64 * 1024, 0))
+    if not pool:
+        raise ServiceError(
+            f"report for {report.system} holds nothing the service can answer"
+        )
+    return pool
+
+
+def run_harness(
+    service: TuningService,
+    clients: int = 8,
+    queries_per_client: int = 500,
+    seed: int = 1234,
+    pool: Sequence[Query] | None = None,
+) -> HarnessResult:
+    """Drive a service from concurrent clients and verify every answer.
+
+    The query schedule is deterministic: one seeded RNG deals each
+    client its own sequence of pool picks, so a given (report, seed,
+    shape) always exercises the same traffic.  Every response is
+    compared against an *uncached* reference advisor; any disagreement
+    counts as a mismatch (and the caller should treat >0 as a bug).
+    """
+    if clients < 1 or queries_per_client < 1:
+        raise ServiceError("harness needs clients >= 1 and queries >= 1")
+    queries = list(pool) if pool is not None else default_query_pool(service.report)
+    reference_advisor = Advisor(service.report)
+    reference = {q: answer(reference_advisor, q) for q in queries}
+    rng = random.Random(seed)
+    schedules = [
+        [queries[rng.randrange(len(queries))] for _ in range(queries_per_client)]
+        for _ in range(clients)
+    ]
+    mismatches = [0] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def client(index: int) -> None:
+        barrier.wait()
+        bad = 0
+        for query in schedules[index]:
+            if service.query(query) != reference[query]:
+                bad += 1
+        mismatches[index] = bad
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"tuning-client-{i}")
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    metrics = service.metrics()
+    return HarnessResult(
+        clients=clients,
+        queries=clients * queries_per_client,
+        wall_seconds=wall,
+        mismatches=sum(mismatches),
+        hit_rate=metrics["hit_rate"],
+        metrics=metrics,
+    )
+
+
+def query_from_spec(kind: str, report: ServetReport, **params) -> Query:
+    """Build a query from CLI-ish string/keyword parameters."""
+    kinds = {
+        "tile": lambda: TileQuery(
+            level=int(params.get("level", 1)),
+            n_arrays=int(params.get("n_arrays", 1)),
+            elem_size=int(params.get("elem_size", 8)),
+        ),
+        "matmul-tile": lambda: MatmulTileQuery(
+            level=int(params.get("level", 1)),
+            elem_size=int(params.get("elem_size", 8)),
+        ),
+        "streaming-cores": lambda: StreamingCoresQuery(
+            group_index=int(params.get("group_index", 0)),
+            efficiency_floor=float(params.get("efficiency_floor", 0.5)),
+        ),
+        "aggregate": lambda: AggregationQuery(
+            core_a=int(params["core_a"]),
+            core_b=int(params["core_b"]),
+            n_messages=int(params.get("n_messages", 16)),
+            message_size=int(params.get("message_size", 4096)),
+        ),
+        "bcast": lambda: BcastQuery(
+            placement=tuple(int(c) for c in params["placement"]),
+            nbytes=int(params.get("nbytes", 64 * 1024)),
+            root=int(params.get("root", 0)),
+        ),
+        "latency": lambda: CommLatencyQuery(
+            core_a=int(params["core_a"]),
+            core_b=int(params["core_b"]),
+            nbytes=int(params.get("nbytes", 4096)),
+        ),
+    }
+    if kind not in kinds:
+        raise ServiceError(
+            f"unknown query kind {kind!r} (expected one of {sorted(kinds)})"
+        )
+    try:
+        return kinds[kind]()
+    except KeyError as exc:
+        raise ServiceError(f"query {kind!r} needs parameter {exc}") from exc
+
+
+# ``normalize_options`` is re-exported for CLI convenience: building a
+# service from a live run needs the same option normalization the
+# fingerprint uses.
+__all__ = [
+    "AggregationQuery",
+    "BcastQuery",
+    "CommLatencyQuery",
+    "HarnessResult",
+    "LRUTTLCache",
+    "MatmulTileQuery",
+    "Query",
+    "StreamingCoresQuery",
+    "TileQuery",
+    "TuningService",
+    "answer",
+    "default_query_pool",
+    "normalize_options",
+    "query_from_spec",
+    "run_harness",
+]

@@ -13,6 +13,7 @@ import json
 from pathlib import Path
 
 from ..errors import ConfigurationError
+from ..ioutils import atomic_write_text
 from ..memsim.tlb import TLBSpec
 from ..netsim.model import CommConfig, LayerParams
 from .cache import CacheLevel, CacheSpec, Indexing
@@ -191,7 +192,7 @@ def save_cluster(
     cluster: Cluster, path: str | Path, comm: CommConfig | None = None
 ) -> None:
     """Write a cluster description (and optional comm model) as JSON."""
-    Path(path).write_text(json.dumps(cluster_to_dict(cluster, comm), indent=2))
+    atomic_write_text(path, json.dumps(cluster_to_dict(cluster, comm), indent=2))
 
 
 def load_cluster(path: str | Path) -> tuple[Cluster, CommConfig | None]:

@@ -68,6 +68,15 @@ def test_custom_machine():
     assert "TLB entries detected: 256" in out
 
 
+def test_tuning_service():
+    out = run_example("tuning_service.py")
+    assert "registered as" in out
+    assert "0 mismatches" in out
+    assert "stale phases: ['memory_overhead']" in out
+    assert "refresh mode: incremental" in out
+    assert "cache hierarchy reused from the stored report" in out
+
+
 @pytest.mark.slow
 def test_native_probe_smoke():
     # Real timings on the host: only assert it completes and prints a

@@ -1,0 +1,98 @@
+"""Integration: the tuning service acceptance criteria.
+
+Two pinned guarantees from the issue:
+
+1. With ``noise=0``, an incremental refresh after a single-parameter
+   topology change produces a report whose ``measurement_dict()`` is
+   byte-identical to a from-scratch run on the changed machine — while
+   issuing strictly fewer probes (planner accounting).
+2. The concurrent-client harness sustains a warm cache hit rate >= 90%
+   with zero wrong answers versus uncached queries.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import ServetSuite, SimulatedBackend, dunnington
+from repro.service import (
+    ReportRegistry,
+    TuningService,
+    fingerprint_of,
+    incremental_refresh,
+    run_harness,
+)
+
+
+def degraded_dunnington():
+    machine = dunnington()
+    root = machine.bandwidth_root
+    return dataclasses.replace(
+        machine, bandwidth_root=dataclasses.replace(root, capacity=root.capacity / 2)
+    )
+
+
+@pytest.fixture(scope="module")
+def refresh_setup(tmp_path_factory):
+    registry = ReportRegistry(tmp_path_factory.mktemp("svc") / "registry")
+    backend = SimulatedBackend(dunnington(), seed=42, noise=0.0)
+    baseline = ServetSuite(backend).run()
+    registry.put(fingerprint_of(backend), baseline)
+
+    changed_backend = SimulatedBackend(degraded_dunnington(), seed=42, noise=0.0)
+    result = incremental_refresh(registry, changed_backend)
+
+    scratch_backend = SimulatedBackend(degraded_dunnington(), seed=42, noise=0.0)
+    scratch = ServetSuite(scratch_backend).run()
+    return baseline, result, scratch
+
+
+def test_single_parameter_change_refreshes_incrementally(refresh_setup):
+    _, result, _ = refresh_setup
+    assert result.staleness.changed == ("topology.node.bandwidth.capacity",)
+    assert result.staleness.affected == ("memory_overhead",)
+    assert result.mode == "incremental"
+    assert result.entry is not None and result.entry.version == 1
+
+
+def test_refresh_is_byte_identical_to_scratch_run(refresh_setup):
+    _, result, scratch = refresh_setup
+    refreshed = json.dumps(result.report.measurement_dict(), sort_keys=True)
+    rerun = json.dumps(scratch.measurement_dict(), sort_keys=True)
+    assert refreshed == rerun
+
+
+def test_refresh_issues_strictly_fewer_probes(refresh_setup):
+    _, result, scratch = refresh_setup
+    issued_refresh = result.report.to_dict()["planner"]["issued"]
+    issued_scratch = scratch.to_dict()["planner"]["issued"]
+    assert 0 < issued_refresh < issued_scratch
+
+
+def test_unaffected_sections_are_reused_not_remeasured(refresh_setup):
+    baseline, result, _ = refresh_setup
+    base, merged = baseline.to_dict(), result.report.to_dict()
+    assert merged["caches"] == base["caches"]
+    assert merged["tlb_entries"] == base["tlb_entries"]
+    assert merged["comm_layers"] == base["comm_layers"]
+    # ... while the stale section really did change.
+    assert merged["memory_levels"] != base["memory_levels"]
+
+
+def test_registry_serves_the_refreshed_report(refresh_setup):
+    _, result, scratch = refresh_setup
+    # The refresh stored its merged report under the live fingerprint;
+    # a service built from the entry answers from the updated machine.
+    assert result.fingerprint.digest == result.entry.digest
+    assert result.report.measurement_dict() == scratch.measurement_dict()
+
+
+def test_concurrent_harness_hit_rate_and_correctness(refresh_setup):
+    baseline, _, _ = refresh_setup
+    service = TuningService(baseline)
+    result = run_harness(service, clients=8, queries_per_client=250, seed=1234)
+    assert result.queries == 2000
+    assert result.mismatches == 0
+    assert result.hit_rate >= 0.90
+    assert result.metrics["evictions"] == 0

@@ -196,3 +196,13 @@ def test_summary_mentions_everything():
     text = sample_report().summary()
     for token in ("toy", "L1", "32KB", "2MB", "layer 0", "cache_size"):
         assert token in text
+
+
+def test_save_is_atomic(tmp_path):
+    """Save replaces the target in one rename and leaves no temp files."""
+    path = tmp_path / "report.json"
+    path.write_text("previous contents")
+    sample_report().save(path)
+    data = path.read_text()
+    assert "previous" not in data and '"system": "toy"' in data
+    assert [p.name for p in tmp_path.iterdir()] == ["report.json"]

@@ -1,0 +1,114 @@
+"""Unit tests for machine fingerprinting and input diffing."""
+
+import dataclasses
+
+import pytest
+
+from repro import SimulatedBackend, dempsey, dunnington
+from repro.errors import ServiceError
+from repro.netsim import default_comm_config
+from repro.service.fingerprint import (
+    DEFAULT_OPTIONS,
+    MachineFingerprint,
+    diff_inputs,
+    fingerprint_of,
+    flatten_inputs,
+    machine_fingerprint,
+    normalize_options,
+)
+from repro.topology import Cluster
+
+
+def test_fingerprint_is_deterministic():
+    a = machine_fingerprint(dunnington())
+    b = machine_fingerprint(dunnington())
+    assert a.digest == b.digest
+    assert a.inputs == b.inputs
+    assert len(a.digest) == 64
+    assert a.short == a.digest[:12]
+
+
+def test_machine_equals_single_node_cluster():
+    machine = dempsey()
+    cluster = Cluster(machine.name, machine, n_nodes=1)
+    assert machine_fingerprint(machine).digest == machine_fingerprint(cluster).digest
+
+
+def test_different_machines_differ():
+    assert machine_fingerprint(dempsey()).digest != machine_fingerprint(dunnington()).digest
+
+
+def test_options_participate_in_digest():
+    base = machine_fingerprint(dempsey())
+    pruned = machine_fingerprint(dempsey(), options={"prune": "cells"})
+    assert base.digest != pruned.digest
+
+
+def test_comm_model_participates_in_digest():
+    machine = dempsey()
+    base = machine_fingerprint(machine)
+    with_comm = machine_fingerprint(machine, comm=default_comm_config(machine))
+    assert base.digest != with_comm.digest
+
+
+def test_normalize_options_defaults_and_types():
+    opts = normalize_options()
+    assert opts == DEFAULT_OPTIONS
+    opts = normalize_options({"node_cores": ("0", "3")}, prune="cells")
+    assert opts["node_cores"] == [0, 3]
+    assert opts["prune"] == "cells"
+    assert opts["probe_tlb"] is True
+
+
+def test_normalize_options_rejects_unknown_keys():
+    with pytest.raises(ServiceError, match="unknown suite option"):
+        normalize_options({"probe_tlbs": False})
+
+
+def test_fingerprint_of_backend_matches_model():
+    machine = dempsey()
+    backend = SimulatedBackend(machine, seed=1)
+    via_backend = fingerprint_of(backend)
+    via_model = machine_fingerprint(backend.cluster, comm=backend.comm_config)
+    assert via_backend.digest == via_model.digest
+
+
+def test_fingerprint_of_requires_topology_model():
+    class Opaque:
+        name = "opaque"
+
+    with pytest.raises(ServiceError, match="no cluster"):
+        fingerprint_of(Opaque())
+
+
+def test_flatten_inputs_paths():
+    flat = flatten_inputs({"a": {"b": 1}, "c": [10, {"d": "x"}], "e": []})
+    assert flat == {"a.b": "1", "c[0]": "10", "c[1].d": '"x"', "e": "[]"}
+
+
+def test_diff_inputs_changed_added_removed():
+    stored = {"x": 1, "gone": 2, "same": 3}
+    live = {"x": 9, "new": 4, "same": 3}
+    assert diff_inputs(stored, live) == ["gone", "new", "x"]
+    assert diff_inputs(stored, stored) == []
+
+
+def test_diff_on_real_topology_change_is_precise():
+    machine = dunnington()
+    degraded = dataclasses.replace(
+        machine,
+        bandwidth_root=dataclasses.replace(
+            machine.bandwidth_root, capacity=machine.bandwidth_root.capacity / 2
+        ),
+    )
+    changed = diff_inputs(
+        machine_fingerprint(machine).inputs, machine_fingerprint(degraded).inputs
+    )
+    assert changed == ["topology.node.bandwidth.capacity"]
+
+
+def test_fingerprint_is_frozen():
+    fp = machine_fingerprint(dempsey())
+    assert isinstance(fp, MachineFingerprint)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        fp.digest = "tampered"

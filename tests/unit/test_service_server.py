@@ -1,0 +1,180 @@
+"""Unit tests for the tuning service: cache, answers, metrics, harness."""
+
+import pytest
+
+from repro.autotune import Advisor
+from repro.errors import ServiceError
+from repro.service.server import (
+    AggregationQuery,
+    CommLatencyQuery,
+    LRUTTLCache,
+    MatmulTileQuery,
+    StreamingCoresQuery,
+    TileQuery,
+    TuningService,
+    answer,
+    default_query_pool,
+    query_from_spec,
+    run_harness,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+# -- LRU+TTL cache -------------------------------------------------------
+
+
+def test_cache_hit_miss():
+    cache = LRUTTLCache(capacity=4)
+    hit, _ = cache.get("k")
+    assert not hit
+    cache.put("k", 42)
+    hit, value = cache.get("k")
+    assert hit and value == 42
+
+
+def test_cache_evicts_least_recently_used():
+    cache = LRUTTLCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # refresh "a"; "b" becomes the LRU victim
+    cache.put("c", 3)
+    assert cache.get("a")[0]
+    assert not cache.get("b")[0]
+    assert cache.get("c")[0]
+    assert cache.evictions == 1
+    assert len(cache) == 2
+
+
+def test_cache_ttl_expiry_with_fake_clock():
+    clock = FakeClock()
+    cache = LRUTTLCache(capacity=4, ttl=10.0, clock=clock)
+    cache.put("k", 1)
+    clock.now = 9.0
+    assert cache.get("k")[0]
+    clock.now = 20.1
+    hit, _ = cache.get("k")
+    assert not hit
+    assert cache.expirations == 1
+    assert len(cache) == 0
+
+
+def test_cache_rejects_bad_shape():
+    with pytest.raises(ServiceError):
+        LRUTTLCache(capacity=0)
+    with pytest.raises(ServiceError):
+        LRUTTLCache(ttl=0)
+
+
+# -- answers and metrics -------------------------------------------------
+
+
+def test_answers_match_uncached_advisor(dunnington_report):
+    service = TuningService(dunnington_report)
+    reference = Advisor(dunnington_report)
+    for query in default_query_pool(dunnington_report):
+        assert service.query(query) == answer(reference, query)
+
+
+def test_answers_are_json_scalars(dunnington_report):
+    import json
+
+    service = TuningService(dunnington_report)
+    for query in default_query_pool(dunnington_report):
+        json.dumps(service.query(query))  # must not raise
+
+
+def test_unknown_query_type_rejected(dunnington_report):
+    with pytest.raises(ServiceError, match="unknown query type"):
+        answer(Advisor(dunnington_report), object())
+
+
+def test_metrics_count_hits_and_misses(dunnington_report):
+    service = TuningService(dunnington_report)
+    query = MatmulTileQuery(level=1)
+    service.query(query)
+    service.query(query)
+    service.query(query)
+    metrics = service.metrics()
+    assert metrics["queries"] == 3
+    assert metrics["misses"] == 1
+    assert metrics["hits"] == 2
+    assert metrics["hit_rate"] == pytest.approx(2 / 3)
+    assert metrics["cache_entries"] == 1
+    assert metrics["latency_p50"] >= 0.0
+    assert metrics["latency_p99"] >= metrics["latency_p50"]
+
+
+def test_ttl_service_recomputes_after_expiry(dunnington_report):
+    clock = FakeClock()
+    service = TuningService(dunnington_report, ttl=5.0, clock=clock)
+    query = TileQuery(level=1, n_arrays=2)
+    first = service.query(query)
+    clock.now = 6.0
+    second = service.query(query)
+    assert first == second  # recomputed, not wrong
+    assert service.metrics()["misses"] == 2
+
+
+# -- the deterministic concurrent harness --------------------------------
+
+
+def test_harness_small_run_no_mismatches(dunnington_report):
+    service = TuningService(dunnington_report)
+    result = run_harness(service, clients=3, queries_per_client=60, seed=5)
+    assert result.queries == 180
+    assert result.mismatches == 0
+    assert result.hit_rate > 0.5
+    assert result.queries_per_second > 0
+
+
+def test_harness_is_deterministic_in_shape(dunnington_report):
+    pool = default_query_pool(dunnington_report)
+    a = run_harness(TuningService(dunnington_report), clients=2,
+                    queries_per_client=40, seed=9, pool=pool)
+    b = run_harness(TuningService(dunnington_report), clients=2,
+                    queries_per_client=40, seed=9, pool=pool)
+    # Same seed deals the same schedule, so the cache sees the same
+    # distinct-key set and both runs end with identical hit counts.
+    assert a.metrics["hits"] == b.metrics["hits"]
+    assert a.metrics["misses"] == b.metrics["misses"]
+
+
+def test_harness_validates_shape(dunnington_report):
+    service = TuningService(dunnington_report)
+    with pytest.raises(ServiceError):
+        run_harness(service, clients=0)
+
+
+# -- CLI query specs -----------------------------------------------------
+
+
+def test_query_from_spec_builds_each_kind(dunnington_report):
+    q = query_from_spec("tile", dunnington_report, level=2, n_arrays=3)
+    assert q == TileQuery(level=2, n_arrays=3, elem_size=8)
+    q = query_from_spec("matmul-tile", dunnington_report, level=1)
+    assert q == MatmulTileQuery(level=1)
+    q = query_from_spec("streaming-cores", dunnington_report)
+    assert q == StreamingCoresQuery()
+    q = query_from_spec("aggregate", dunnington_report, core_a=0, core_b=1)
+    assert q == AggregationQuery(0, 1, 16, 4096)
+    q = query_from_spec("latency", dunnington_report, core_a=0, core_b=2, nbytes=128)
+    assert q == CommLatencyQuery(0, 2, 128)
+    bq = query_from_spec("bcast", dunnington_report, placement=[0, 1, 2, 3])
+    assert bq.placement == (0, 1, 2, 3)
+
+
+def test_query_from_spec_rejects_unknown_kind(dunnington_report):
+    with pytest.raises(ServiceError, match="unknown query kind"):
+        query_from_spec("warp-factor", dunnington_report)
+
+
+def test_query_from_spec_names_missing_parameter(dunnington_report):
+    with pytest.raises(ServiceError, match="needs parameter"):
+        query_from_spec("aggregate", dunnington_report, core_a=0)

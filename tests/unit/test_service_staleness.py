@@ -1,0 +1,152 @@
+"""Unit tests for the staleness -> phase mapping and refresh modes."""
+
+import pytest
+
+from repro import ServetSuite, SimulatedBackend, dempsey
+from repro.service.fingerprint import fingerprint_of
+from repro.service.registry import ReportRegistry
+from repro.service.staleness import (
+    ALL_PHASES,
+    _SECTION_CLEARERS,
+    StalenessReport,
+    affected_phases,
+    assess_staleness,
+    incremental_refresh,
+)
+
+
+# -- the rule table ------------------------------------------------------
+
+
+def test_bandwidth_change_hits_only_memory_overhead():
+    assert affected_phases(["topology.node.bandwidth.capacity"]) == (
+        "memory_overhead",
+    )
+
+
+def test_cache_levels_change_closes_over_dependents():
+    # A new hierarchy invalidates everything that consumed the detected
+    # levels: sharing detection, the TLB probe, and the L1-sized
+    # communication probe.
+    assert affected_phases(["topology.node.levels[0].size"]) == (
+        "cache_size",
+        "shared_caches",
+        "tlb_detection",
+        "communication_costs",
+    )
+
+
+def test_tlb_change_includes_cache_size_closure():
+    affected = affected_phases(["topology.node.tlb.entries"])
+    assert "cache_size" in affected and "tlb_detection" in affected
+    assert "memory_overhead" not in affected
+
+
+def test_comm_model_change_hits_communication_only():
+    assert affected_phases(["comm.intra_cell.base_latency"]) == (
+        "communication_costs",
+    )
+
+
+def test_option_rules():
+    assert affected_phases(["options.probe_tlb"]) == ("tlb_detection",)
+    assert affected_phases(["options.comm_cores"]) == ("communication_costs",)
+    # node_cores re-measures the single-node phases; the dependency
+    # closure over cache_size then pulls in the L1-sized comm probe too.
+    assert affected_phases(["options.node_cores"]) == ALL_PHASES
+
+
+def test_prune_change_invalidates_nothing():
+    assert affected_phases(["options.prune"]) == ()
+
+
+def test_unknown_path_distrusts_everything():
+    assert affected_phases(["topology.quantum_link"]) == ALL_PHASES
+    # ... even when mixed with precisely-understood changes.
+    assert affected_phases(
+        ["topology.node.bandwidth.capacity", "mystery"]
+    ) == ALL_PHASES
+
+
+def test_prefix_match_does_not_overreach():
+    # "topology.node.cells" must not swallow "topology.node.cells_ext"-
+    # style siblings; an unmatched sibling falls through to ALL.
+    assert affected_phases(["topology.node.cells[0][1]"]) == (
+        "memory_overhead",
+        "communication_costs",
+    )
+    assert affected_phases(["topology.node.cellsize"]) == ALL_PHASES
+
+
+def test_no_change_is_fresh():
+    report = StalenessReport(changed=(), affected=())
+    assert report.fresh and not report.full
+    assert "unchanged" in report.summary()
+
+
+def test_assess_staleness_end_to_end():
+    stored = {"topology": {"node": {"mem_latency": 80.0}}, "options": {}}
+    live = {"topology": {"node": {"mem_latency": 95.0}}, "options": {}}
+    report = assess_staleness(stored, live)
+    assert report.changed == ("topology.node.mem_latency",)
+    assert report.affected[0] == "cache_size"
+    assert "re-measure" in report.summary()
+
+
+# -- section clearers ----------------------------------------------------
+
+
+def test_every_phase_has_a_clearer():
+    assert set(_SECTION_CLEARERS) == set(ALL_PHASES)
+
+
+def test_clearers_erase_their_sections(dunnington_report):
+    data = dunnington_report.to_dict()
+    _SECTION_CLEARERS["tlb_detection"](data)
+    assert data["tlb_entries"] is None
+    _SECTION_CLEARERS["shared_caches"](data)
+    assert all(
+        c["shared_pairs"] == [] and c["sharing_groups"] == [] for c in data["caches"]
+    )
+    _SECTION_CLEARERS["memory_overhead"](data)
+    assert data["memory_reference"] == 0.0 and data["memory_levels"] == []
+    _SECTION_CLEARERS["communication_costs"](data)
+    assert data["comm_probe_size"] == 0 and data["comm_layers"] == []
+    _SECTION_CLEARERS["cache_size"](data)
+    assert data["caches"] == []
+
+
+# -- refresh modes (cheap paths; the incremental path is integration) ----
+
+
+@pytest.fixture(scope="module")
+def seeded_registry(tmp_path_factory):
+    backend = SimulatedBackend(dempsey(), seed=3, noise=0.0)
+    report = ServetSuite(backend).run()
+    registry = ReportRegistry(tmp_path_factory.mktemp("reg") / "registry")
+    registry.put(fingerprint_of(backend), report)
+    return registry, report
+
+
+def test_refresh_up_to_date(seeded_registry):
+    registry, report = seeded_registry
+    backend = SimulatedBackend(dempsey(), seed=99, noise=0.5)  # same model
+    result = incremental_refresh(registry, backend)
+    assert result.mode == "up_to_date"
+    assert result.entry is None
+    assert result.staleness.fresh
+    assert result.report.measurement_dict() == report.measurement_dict()
+
+
+def test_refresh_rekey_on_prune_change(seeded_registry):
+    registry, report = seeded_registry
+    backend = SimulatedBackend(dempsey(), seed=3, noise=0.0)
+    result = incremental_refresh(registry, backend, options={"prune": "cells"})
+    assert result.staleness.changed == ("options.prune",)
+    assert result.mode == "rekey"
+    # Re-keyed verbatim: no measurement changed, new digest stored.
+    assert result.report.measurement_dict() == report.measurement_dict()
+    assert result.entry is not None
+    assert registry.get(result.fingerprint.digest).measurement_dict() == (
+        report.measurement_dict()
+    )
