@@ -14,6 +14,8 @@ The package has three strata (see DESIGN.md):
 - **Tuning service** (:mod:`repro.service`) — the install-once,
   consult-forever layer: fingerprint-keyed report registry, concurrent
   cached query serving, staleness-driven incremental re-measurement.
+- **Observability** (:mod:`repro.obs`) — structured tracing, a metrics
+  registry, and probe-level provenance for every detected parameter.
 
 Quickstart::
 
@@ -28,6 +30,7 @@ Quickstart::
 from .backends import Backend, NativeBackend, SimulatedBackend
 from .core import ServetReport, ServetSuite
 from .autotune import Advisor
+from .obs import MetricsRegistry, ParameterProvenance, Tracer, explain
 from .planner import (
     MeasurementPlan,
     MessageProbe,
@@ -78,6 +81,10 @@ __all__ = [
     "ServetReport",
     "ServetSuite",
     "Advisor",
+    "MetricsRegistry",
+    "ParameterProvenance",
+    "Tracer",
+    "explain",
     "MeasurementPlan",
     "MessageProbe",
     "PlanExecutor",

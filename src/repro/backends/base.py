@@ -82,3 +82,58 @@ class Backend(abc.ABC):
         """Return the accumulated virtual time and reset the clock."""
         elapsed, self.virtual_time = self.virtual_time, 0.0
         return elapsed
+
+
+#: The four measurement entry points every backend exposes — the hook
+#: surface :func:`instrument_backend` wraps.
+MEASUREMENT_METHODS: tuple[str, ...] = (
+    "traversal_cycles",
+    "copy_bandwidth",
+    "message_latency",
+    "concurrent_message_latency",
+)
+
+
+def instrument_backend(backend: Backend, tracer=None, metrics=None) -> Backend:
+    """Attach observability to a backend *instance* (idempotent).
+
+    Wraps the measurement methods so every call emits a
+    ``backend.<method>`` span (when a tracer is given) and increments a
+    ``backend.calls{method=...}`` counter plus a virtual-seconds
+    histogram (when a metrics registry is given).  Works on raw
+    backends and on the resilience wrappers alike — the wrapper is
+    installed on whatever object the suite actually calls, so retries
+    inside :class:`~repro.resilience.HardenedBackend` count as one
+    call, matching what a phase asked for.
+
+    Re-instrumenting an already-instrumented backend only swaps the
+    sinks (tracer/metrics), so a backend reused across suite runs
+    reports to the run that is currently driving it.
+    """
+    backend._obs_sinks = (tracer, metrics)
+    if getattr(backend, "_obs_instrumented", False):
+        return backend
+    for method_name in MEASUREMENT_METHODS:
+        original = getattr(backend, method_name)
+
+        def wrapper(*args, _original=original, _name=method_name, **kwargs):
+            sink_tracer, sink_metrics = backend._obs_sinks
+            if sink_metrics is not None:
+                sink_metrics.counter("backend.calls", method=_name).inc()
+            before = getattr(backend, "virtual_time", 0.0)
+            if sink_tracer is None:
+                result = _original(*args, **kwargs)
+            else:
+                with sink_tracer.span(f"backend.{_name}"):
+                    result = _original(*args, **kwargs)
+            if sink_metrics is not None:
+                elapsed = getattr(backend, "virtual_time", 0.0) - before
+                if elapsed > 0:
+                    sink_metrics.histogram(
+                        "backend.call_virtual_seconds", method=_name
+                    ).observe(elapsed)
+            return result
+
+        setattr(backend, method_name, wrapper)
+    backend._obs_instrumented = True
+    return backend

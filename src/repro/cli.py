@@ -40,6 +40,7 @@ from .resilience import (
     SamplingPolicy,
 )
 from .netsim import default_comm_config
+from .obs import MetricsRegistry, Tracer, explain, load_jsonl, summarize
 from .planner import PRUNE_MODES
 from .service import (
     ReportRegistry,
@@ -79,6 +80,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--machine",
         default="dunnington",
         help=f"one of: {', '.join(builder_names())}",
+    )
+    run.add_argument(
+        "--preset",
+        dest="machine",
+        default=argparse.SUPPRESS,
+        metavar="NAME",
+        help="alias for --machine",
     )
     run.add_argument(
         "--machine-file",
@@ -160,6 +168,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     run.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write structured spans (suite phases, planner probes, "
+        "backend calls) as JSON Lines; inspect with 'servet trace "
+        "summarize'",
+    )
+    run.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write the run's metrics registry (probe counters, cache "
+        "hit/miss, per-phase durations) as JSON",
+    )
+    run.add_argument(
         "--registry",
         default=None,
         metavar="DIR",
@@ -234,6 +257,18 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="answer-cache TTL in seconds (default: no expiry)",
+    )
+    srv.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write per-query spans as JSON Lines",
+    )
+    srv.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write the service metrics registry as JSON",
     )
 
     qry = sub.add_parser("query", help="answer one tuning query from a report")
@@ -346,6 +381,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"one of: {', '.join(builder_names())}",
     )
 
+    xpl = sub.add_parser(
+        "explain",
+        help="show which probes justified a detected parameter "
+        "(provenance lookup)",
+    )
+    xpl.add_argument(
+        "path",
+        help="report file (with --registry: digest/prefix or 'latest')",
+    )
+    xpl.add_argument(
+        "parameter",
+        nargs="?",
+        default=None,
+        help="dotted parameter path (e.g. cache.L2.size) or a prefix; "
+        "omit to list every parameter with provenance",
+    )
+    xpl.add_argument(
+        "--registry",
+        nargs="?",
+        const=DEFAULT_REGISTRY,
+        default=None,
+        metavar="DIR",
+        help="read from this report registry instead of a file path",
+    )
+
+    trc = sub.add_parser(
+        "trace", help="inspect traces written by 'servet run --trace'"
+    )
+    trc_sub = trc.add_subparsers(dest="trace_command", required=True)
+    trc_sum = trc_sub.add_parser(
+        "summarize", help="per-phase time and probe breakdown of a trace"
+    )
+    trc_sum.add_argument("path", help="JSON Lines trace file")
+
     exp = sub.add_parser(
         "export-machine",
         help="write a built-in machine's JSON description (a template for "
@@ -416,12 +485,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume and args.checkpoint is None:
         print("error: --resume requires --checkpoint", file=sys.stderr)
         return 2
-    report = ServetSuite(backend, jobs=args.jobs, prune=args.prune).run(
+    suite = ServetSuite(backend, jobs=args.jobs, prune=args.prune)
+    report = suite.run(
         strict=not args.lenient,
         checkpoint=args.checkpoint,
         resume=args.resume,
     )
     print(report.summary())
+    if args.trace:
+        suite.tracer.save(args.trace)
+        print(
+            f"trace written to {args.trace} "
+            f"({len(suite.tracer.spans())} spans)"
+        )
+    if args.metrics:
+        suite.metrics.save_json(args.metrics)
+        print(f"metrics written to {args.metrics}")
     if report.degraded:
         print(
             "\nWARNING: degraded run — phases "
@@ -523,7 +602,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         report = ReportRegistry(args.registry).get(args.fingerprint)
         source = f"{args.registry} [{args.fingerprint}]"
-    service = TuningService(report, capacity=args.capacity, ttl=args.ttl)
+    tracer = Tracer() if args.trace else None
+    registry = MetricsRegistry() if args.metrics else None
+    service = TuningService(
+        report,
+        capacity=args.capacity,
+        ttl=args.ttl,
+        metrics=registry,
+        tracer=tracer,
+    )
     print(f"tuning service for {report.system} ({source})")
     result = run_harness(
         service,
@@ -550,6 +637,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             metrics["latency_p99"] * 1e6,
         )
     )
+    if args.trace:
+        tracer.save(args.trace)
+        print(f"trace written to {args.trace} ({len(tracer.spans())} spans)")
+    if args.metrics:
+        registry.save_json(args.metrics)
+        print(f"metrics written to {args.metrics}")
     if result.mismatches:
         print(
             f"ERROR: {result.mismatches} answers diverged from the "
@@ -621,6 +714,19 @@ def _cmd_registry(args: argparse.Namespace) -> int:
     raise AssertionError("unreachable")
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    report = _load_report_arg(args.path, args.registry)
+    print(explain(report, args.parameter))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "summarize":
+        print(summarize(load_jsonl(args.path)))
+        return 0
+    raise AssertionError("unreachable")
+
+
 def _cmd_export_machine(args: argparse.Namespace) -> int:
     if args.machine == "finis_terrae" and args.nodes > 1:
         cluster = finis_terrae(args.nodes)
@@ -652,6 +758,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_query(args)
         if args.command == "registry":
             return _cmd_registry(args)
+        if args.command == "explain":
+            return _cmd_explain(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "export-machine":
             return _cmd_export_machine(args)
     except ReproError as exc:

@@ -24,6 +24,8 @@ from scipy.signal import find_peaks
 
 from ..backends.base import Backend
 from ..errors import DetectionError
+from ..obs.provenance import ParameterProvenance
+from ..planner.plan import TraversalProbe, probe_id
 from .mcalibrator import MAX_CACHE, MIN_CACHE, STRIDE, McalibratorResult, run_mcalibrator
 from .probabilistic import ProbabilisticEstimate, probabilistic_cache_size
 
@@ -37,6 +39,11 @@ VALLEY_FRACTION: float = 0.5
 #: Total cycles rise ``C[end] / C[start]`` a region must show to count
 #: as a cache boundary (filters single-point measurement noise).
 MIN_RISE: float = 1.3
+#: Two probabilistic levels carved out of the *same* raw gradient
+#: region whose size estimates sit closer than this ratio are one cache
+#: whose wide binomial rise got valley-split by noise: real hierarchies
+#: keep a factor >= 2 between consecutive level capacities.
+MERGE_RATIO: float = 1.75
 
 
 @dataclass
@@ -51,6 +58,12 @@ class CacheLevelEstimate:
     used_range: tuple[int, int]
     #: Present when the probabilistic algorithm produced the estimate.
     probabilistic: ProbabilisticEstimate | None = None
+    #: Probe IDs / cycle measurements behind the estimate when they do
+    #: not come from the shared mcalibrator sweep (the densified
+    #: refinement pass issues its own probes); empty otherwise — the
+    #: provenance builder then reads the mcalibrator window directly.
+    probe_ids: list[str] = field(default_factory=list)
+    probe_cycles: list[float] = field(default_factory=list)
 
 
 @dataclass
@@ -66,6 +79,49 @@ class CacheDetectionResult:
     def sizes(self) -> list[int]:
         """Detected sizes, L1 first."""
         return [lvl.size for lvl in self.levels]
+
+    def provenance_records(self) -> list[ParameterProvenance]:
+        """One ``cache.L<n>.size`` evidence trail per detected level."""
+        records = []
+        for lvl in self.levels:
+            if lvl.probe_ids:
+                pids = list(lvl.probe_ids)
+                cycles = list(lvl.probe_cycles)
+            else:
+                lo, hi = lvl.used_range
+                hi = min(hi, len(self.mcalibrator.sizes))
+                pids = _window_probe_ids(self.mcalibrator, lo, hi)
+                cycles = [float(c) for c in self.mcalibrator.cycles[lo:hi]]
+            records.append(
+                ParameterProvenance(
+                    parameter=f"cache.L{lvl.level}.size",
+                    value=lvl.size,
+                    method=lvl.method,
+                    probes=pids,
+                    measurements=dict(zip(pids, cycles)),
+                    note=(
+                        f"mcalibrator window [{lvl.used_range[0]}, "
+                        f"{lvl.used_range[1]}), stride "
+                        f"{self.mcalibrator.stride}"
+                    ),
+                )
+            )
+        return records
+
+
+def _window_probe_ids(mres: McalibratorResult, lo: int, hi: int) -> list[str]:
+    """Probe IDs for mcalibrator points ``[lo, hi)``.
+
+    Falls back to recomputing the IDs when the result was built without
+    them (direct construction in analysis-only paths): the sample-0
+    representative probe is fully determined by (core, size, stride).
+    """
+    if mres.probe_ids:
+        return list(mres.probe_ids[lo:hi])
+    return [
+        probe_id(TraversalProbe(((mres.core, int(size)),), mres.stride, 0))
+        for size in mres.sizes[lo:hi]
+    ]
 
 
 def _gradient_regions(gradients: np.ndarray) -> list[tuple[int, int]]:
@@ -183,8 +239,12 @@ def detect_cache_levels(
 
     # Extend each region towards its neighbours (never across them) and
     # drop regions whose total cycles rise is insignificant: a lone
-    # noisy gradient point is not a cache boundary.
+    # noisy gradient point is not a cache boundary.  Each surviving
+    # region remembers which *raw* (pre-split) region it came from so
+    # the post-hoc merge below can tell "two rises split by a valley"
+    # apart from "two separate rises".
     regions: list[tuple[int, int, int, int]] = []  # (lo, hi, xlo, xhi)
+    origins: list[int] = []
     for i, (lo, hi) in enumerate(split_regions):
         lo_bound = split_regions[i - 1][1] + 1 if i > 0 else 0
         hi_bound = (
@@ -196,6 +256,16 @@ def detect_cache_levels(
         rise = mres.cycles[xhi + 1] / mres.cycles[xlo]
         if rise >= MIN_RISE:
             regions.append((lo, hi, xlo, xhi))
+            origins.append(
+                next(
+                    (
+                        raw_idx
+                        for raw_idx, (rlo, rhi) in enumerate(raw_regions)
+                        if rlo <= lo <= rhi
+                    ),
+                    -1 - i,
+                )
+            )
     if not regions:
         raise DetectionError(
             "gradient peaks were all insignificant; no cache boundary "
@@ -256,11 +326,55 @@ def detect_cache_levels(
             )
         )
 
+    # A valley split can cut one cache's wide binomial rise in two when
+    # noise digs a deep enough dip between two apparent maxima: both
+    # halves then pass MIN_RISE and yield probabilistic estimates a few
+    # tens of percent apart.  No real hierarchy has consecutive levels
+    # that close, so merge adjacent probabilistic estimates that came
+    # from the same raw region and sit within MERGE_RATIO, re-fitting
+    # over the combined window.
+    merges: list[tuple[int, int]] = []
+    i = 0
+    while i + 1 < len(levels):
+        a, b = levels[i], levels[i + 1]
+        if (
+            a.method == "probabilistic"
+            and b.method == "probabilistic"
+            and origins[i] == origins[i + 1]
+            and max(a.size, b.size) < MERGE_RATIO * min(a.size, b.size)
+        ):
+            c_lo = min(a.used_range[0], b.used_range[0])
+            c_hi = max(a.used_range[1], b.used_range[1])
+            estimate = probabilistic_cache_size(
+                mres.sizes[c_lo:c_hi], mres.cycles[c_lo:c_hi], page_size
+            )
+            merges.append((a.size, b.size))
+            levels[i] = CacheLevelEstimate(
+                level=a.level,
+                size=estimate.size,
+                method="probabilistic",
+                used_range=(c_lo, c_hi),
+                probabilistic=estimate,
+            )
+            del levels[i + 1]
+            del origins[i + 1]
+            # Stay on i: the merged estimate may now sit close to the
+            # next level carved from the same raw region.
+        else:
+            i += 1
+    for number, lvl in enumerate(levels, start=1):
+        lvl.level = number
+
     return CacheDetectionResult(
         levels=levels,
         mcalibrator=mres,
         page_size=page_size,
-        diagnostics={"regions": regions, "raw_regions": raw_regions},
+        diagnostics={
+            "regions": regions,
+            "raw_regions": raw_regions,
+            "merged_levels": merges,
+            "origins": origins,
+        },
     )
 
 
@@ -315,6 +429,11 @@ def _refine_probabilistic(
         method="probabilistic-refined",
         used_range=estimate.used_range,
         probabilistic=refined,
+        probe_ids=[
+            probe_id(TraversalProbe(((core, size),), stride, 0))
+            for size in sizes
+        ],
+        probe_cycles=cycles,
     )
 
 
@@ -349,4 +468,66 @@ def detect_caches(
                 result.levels[i] = _refine_probabilistic(
                     backend, core, stride, est, mres, samples
                 )
+        _merge_refined_levels(result, backend, core, stride, mres, samples)
     return result
+
+
+def _merge_refined_levels(
+    result: CacheDetectionResult,
+    backend: Backend,
+    core: int,
+    stride: int,
+    mres: McalibratorResult,
+    samples: int,
+) -> None:
+    """Re-run the close-levels merge after refinement (in place).
+
+    The coarse estimates of a valley-split rise can sit far apart (each
+    fit only saw half the transition), so the in-analysis merge misses
+    them; refinement then pulls both towards the true capacity and the
+    artifact becomes visible as two levels within :data:`MERGE_RATIO`
+    of each other inside one raw gradient region.  The merged level is
+    re-fitted from a densified sweep over the combined window.
+    """
+    levels = result.levels
+    origins = list(result.diagnostics.get("origins", []))
+    if len(origins) != len(levels):
+        return
+    i = 0
+    while i + 1 < len(levels):
+        a, b = levels[i], levels[i + 1]
+        if (
+            a.method.startswith("probabilistic")
+            and b.method.startswith("probabilistic")
+            and origins[i] == origins[i + 1]
+            and max(a.size, b.size) < MERGE_RATIO * min(a.size, b.size)
+        ):
+            c_lo = min(a.used_range[0], b.used_range[0])
+            c_hi = max(a.used_range[1], b.used_range[1])
+            seed_est = CacheLevelEstimate(
+                level=a.level, size=0, method="probabilistic",
+                used_range=(c_lo, c_hi),
+            )
+            merged = _refine_probabilistic(
+                backend, core, stride, seed_est, mres, samples
+            )
+            if merged is seed_est:  # window too narrow to densify
+                estimate = probabilistic_cache_size(
+                    mres.sizes[c_lo:c_hi], mres.cycles[c_lo:c_hi],
+                    backend.page_size,
+                )
+                merged = CacheLevelEstimate(
+                    level=a.level, size=estimate.size, method="probabilistic",
+                    used_range=(c_lo, c_hi), probabilistic=estimate,
+                )
+            levels[i] = merged
+            del levels[i + 1]
+            del origins[i + 1]
+            result.diagnostics.setdefault("merged_levels", []).append(
+                (a.size, b.size)
+            )
+        else:
+            i += 1
+    for number, lvl in enumerate(levels, start=1):
+        lvl.level = number
+    result.diagnostics["origins"] = origins

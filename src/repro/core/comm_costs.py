@@ -21,7 +21,8 @@ from collections.abc import Sequence
 
 from ..backends.base import Backend
 from ..errors import MeasurementError
-from ..planner import PlanExecutor
+from ..obs.provenance import ParameterProvenance
+from ..planner import MessageProbe, PlanExecutor, probe_id
 from ..topology.machine import CorePair, all_pairs
 from ..units import KiB, MiB
 from .clustering import cluster_similar
@@ -74,6 +75,8 @@ class CommCostsResult:
     #: Per layer: list of (concurrent messages, worst latency s,
     #: slowdown vs isolated).
     scalability: list[list[tuple[int, float, float]]] = field(default_factory=list)
+    #: Per-layer evidence trails (``comm.layer<i>.latency``).
+    provenance: list[ParameterProvenance] = field(default_factory=list)
 
     @property
     def n_layers(self) -> int:
@@ -146,8 +149,35 @@ def detect_comm_layers(
         CommLayer(index=i, latency=c.value, pairs=sorted(c.members))  # type: ignore[arg-type]
         for i, c in enumerate(clusters)
     ]
+    provenance = []
+    for layer in layers:
+        probes = []
+        measurements = {}
+        for pair in layer.pairs:
+            pid = probe_id(
+                MessageProbe(pair=tuple(pair), nbytes=probe_size, sample=0)
+            )
+            probes.append(pid)
+            measurements[pid] = float(pair_latencies[tuple(pair)])
+        provenance.append(
+            ParameterProvenance(
+                parameter=f"comm.layer{layer.index}.latency",
+                value=layer.latency,
+                method="latency-clustering",
+                probes=probes,
+                measurements=measurements,
+                note=(
+                    f"all-pairs latency at probe size {probe_size} B "
+                    f"clustered at {similarity:.0%} relative tolerance; "
+                    "each probe carries the pair's measured latency (s)"
+                ),
+            )
+        )
     return CommCostsResult(
-        probe_size=probe_size, layers=layers, pair_latencies=pair_latencies
+        probe_size=probe_size,
+        layers=layers,
+        pair_latencies=pair_latencies,
+        provenance=provenance,
     )
 
 

@@ -10,12 +10,13 @@ double from ``MIN_CACHE`` up to 2 MB and then grow by 1 MB steps up to
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..backends.base import Backend
 from ..errors import MeasurementError
+from ..planner.plan import TraversalProbe, probe_id
 from ..units import KiB, MiB, format_size
 
 #: Paper constants (Fig. 1): probe range and stride.
@@ -52,6 +53,9 @@ class McalibratorResult:
     cycles: np.ndarray
     stride: int
     core: int
+    #: Deterministic probe IDs, one per size (sample 0 representative of
+    #: the averaged repeats) — the handles provenance records point at.
+    probe_ids: list[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.sizes = np.asarray(self.sizes, dtype=np.int64)
@@ -80,6 +84,7 @@ class McalibratorResult:
             cycles=self.cycles[lo:hi],
             stride=self.stride,
             core=self.core,
+            probe_ids=self.probe_ids[lo:hi],
         )
 
     def table(self) -> list[tuple[str, float, float]]:
@@ -114,6 +119,7 @@ def run_mcalibrator(
         raise MeasurementError("samples must be >= 1")
     sizes = default_sizes(min_cache, max_cache)
     cycles = []
+    probe_ids = []
     for size in sizes:
         # Small allocations cover few pages, so the conflict-miss rate
         # of a single random placement has huge variance (one crowded
@@ -121,6 +127,7 @@ def run_mcalibrator(
         # number of page placements per point roughly constant.
         n_pages = max(1, size // backend.page_size)
         n_samples = samples * min(8, max(1, -(-64 // n_pages)))
+        probe_ids.append(probe_id(TraversalProbe(((core, size),), stride, 0)))
         cycles.append(
             float(
                 np.mean(
@@ -132,5 +139,9 @@ def run_mcalibrator(
             )
         )
     return McalibratorResult(
-        sizes=np.array(sizes), cycles=np.array(cycles), stride=stride, core=core
+        sizes=np.array(sizes),
+        cycles=np.array(cycles),
+        stride=stride,
+        core=core,
+        probe_ids=probe_ids,
     )

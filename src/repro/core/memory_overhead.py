@@ -16,7 +16,8 @@ from collections.abc import Sequence
 
 from ..backends.base import Backend
 from ..errors import MeasurementError
-from ..planner import PlanExecutor, StreamProbe
+from ..obs.provenance import ParameterProvenance
+from ..planner import PlanExecutor, StreamProbe, probe_id
 from ..topology.machine import CorePair, all_pairs
 from .clustering import cluster_similar, groups_from_pairs
 
@@ -52,6 +53,8 @@ class MemoryOverheadResult:
     #: Per level: effective bandwidth of the first group's first core as
     #: 1..len(group) of its cores run concurrently.
     scalability: list[list[float]] = field(default_factory=list)
+    #: Per-level evidence trails (``memory.level<i>.bandwidth``).
+    provenance: list[ParameterProvenance] = field(default_factory=list)
 
     @property
     def n_levels(self) -> int:
@@ -122,11 +125,36 @@ def characterize_memory_overhead(
         else []
         for level in levels
     ]
+
+    ref_pid = probe_id(StreamProbe(cores=(reference_core,), sample=0))
+    provenance = []
+    for i, level in enumerate(levels):
+        probes = [ref_pid]
+        measurements = {ref_pid: float(ref)}
+        for pair in level.pairs:
+            pid = probe_id(StreamProbe(cores=tuple(pair), sample=0))
+            probes.append(pid)
+            measurements[pid] = float(pair_bw[tuple(pair)])
+        provenance.append(
+            ParameterProvenance(
+                parameter=f"memory.level{i}.bandwidth",
+                value=level.bandwidth,
+                method="bandwidth-clustering",
+                probes=probes,
+                measurements=measurements,
+                note=(
+                    f"pairs at least {significance:.0%} below the reference "
+                    f"(first probe, bytes/s), clustered at {similarity:.0%} "
+                    "relative tolerance"
+                ),
+            )
+        )
     return MemoryOverheadResult(
         reference=ref,
         levels=levels,
         pair_bandwidths=pair_bw,
         scalability=scalability,
+        provenance=provenance,
     )
 
 

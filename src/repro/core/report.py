@@ -140,6 +140,11 @@ class ServetReport:
     #: memoization and symmetry pruning, plus the prune/jobs
     #: configuration (empty for runs without a planner).
     planner: dict = field(default_factory=dict)
+    #: Parameter path -> provenance record (probe IDs + measurements
+    #: that justified the detected value); see
+    #: :mod:`repro.obs.provenance` and ``servet explain``.  Empty for
+    #: reports written before the observability layer.
+    provenance: dict = field(default_factory=dict)
 
     # -- degraded-mode queries ----------------------------------------------
 
@@ -220,15 +225,17 @@ class ServetReport:
     def measurement_dict(self) -> dict:
         """The measured content only — no cost accounting.
 
-        Strips :attr:`timings` and :attr:`planner` from :meth:`to_dict`.
-        A symmetry-pruned run is *supposed* to be cheaper (different
-        timings, different probe counts) while producing the same
+        Strips :attr:`timings`, :attr:`planner` and :attr:`provenance`
+        from :meth:`to_dict`.  A symmetry-pruned run is *supposed* to
+        be cheaper (different timings, different probe counts, a
+        different evidence trail) while producing the same
         measurements; this is the dictionary two such runs are compared
         on.
         """
         data = self.to_dict()
         data.pop("timings", None)
         data.pop("planner", None)
+        data.pop("provenance", None)
         return data
 
     @classmethod
@@ -294,6 +301,7 @@ class ServetReport:
                     for k, v in data.get("phase_errors", {}).items()
                 },
                 planner=dict(data.get("planner", {})),
+                provenance=dict(data.get("provenance", {})),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed report data: {exc}") from exc
@@ -367,6 +375,11 @@ class ServetReport:
             lines.append(
                 f"Planner: {issued} measurement(s) issued, {saved} "
                 f"saved{suffix}"
+            )
+        if self.provenance:
+            lines.append(
+                f"Provenance: {len(self.provenance)} parameter(s) with "
+                "evidence trails (see `servet explain`)"
             )
         if self.timings:
             lines.append("Benchmark execution times (virtual):")

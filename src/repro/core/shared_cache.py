@@ -15,7 +15,8 @@ from collections.abc import Sequence
 
 from ..backends.base import Backend
 from ..errors import MeasurementError
-from ..planner import PlanExecutor, TraversalProbe
+from ..obs.provenance import ParameterProvenance
+from ..planner import PlanExecutor, TraversalProbe, probe_id
 from ..topology.machine import CorePair, all_pairs
 from .mcalibrator import STRIDE
 
@@ -35,6 +36,8 @@ class SharedCacheResult:
     ratios: list[dict[CorePair, float]] = field(default_factory=list)
     #: Reference cycles per level.
     references: list[float] = field(default_factory=list)
+    #: Per-level evidence trails (``cache.L<n>.sharing``).
+    provenance: list[ParameterProvenance] = field(default_factory=list)
 
     def pairs_with(self, core: int, level: int) -> list[CorePair]:
         """Pairs involving ``core`` sharing cache level ``level`` (1-based)."""
@@ -99,8 +102,9 @@ def detect_shared_caches(
     shared_pairs: list[list[CorePair]] = []
     ratios: list[dict[CorePair, float]] = []
     references: list[float] = []
+    provenance: list[ParameterProvenance] = []
     pairs = all_pairs(list(cores))
-    for cache_size in cache_sizes:
+    for level_idx, cache_size in enumerate(cache_sizes, start=1):
         array_bytes = (2 * cache_size) // 3
         ref = executor.traversal_reference(
             reference_core, array_bytes, stride, samples=samples
@@ -136,9 +140,34 @@ def detect_shared_caches(
         shared_pairs.append(level_shared)
         ratios.append(level_ratios)
         references.append(ref)
+        ref_pid = probe_id(
+            TraversalProbe(((reference_core, array_bytes),), stride, 0)
+        )
+        measurements = {ref_pid: float(ref)}
+        probes = [ref_pid]
+        for pair in pairs:
+            pid = probe_id(pair_probe(pair, 0))
+            probes.append(pid)
+            measurements[pid] = float(level_ratios[pair])
+        provenance.append(
+            ParameterProvenance(
+                parameter=f"cache.L{level_idx}.sharing",
+                value=[list(p) for p in level_shared],
+                method="ratio-threshold",
+                probes=probes,
+                measurements=measurements,
+                note=(
+                    f"pairwise cycles / reference > {ratio_threshold} marks "
+                    f"sharing; arrays of {array_bytes} B (2/3 of "
+                    f"{cache_size} B); reference probe listed first "
+                    "(cycles), pair probes carry ratios"
+                ),
+            )
+        )
     return SharedCacheResult(
         cache_sizes=list(cache_sizes),
         shared_pairs=shared_pairs,
         ratios=ratios,
         references=references,
+        provenance=provenance,
     )

@@ -26,13 +26,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Callable, Sequence
 
-from ..backends.base import Backend
+from ..backends.base import Backend, instrument_backend
 from ..errors import CheckpointError, ReproError
+from ..obs.metrics import MetricsRegistry
+from ..obs.provenance import ParameterProvenance, record_provenance
+from ..obs.trace import Tracer
 from ..planner import PlanExecutor
 from ..resilience.checkpoint import SuiteCheckpoint, restore_rng, rng_state_of
 from ..resilience.policy import DEGRADING_INCIDENTS
 from ..units import KiB
-from .cache_size import detect_caches
+from .cache_size import _window_probe_ids, detect_caches
 from .clustering import groups_from_pairs
 from .comm_costs import run_comm_costs
 from .memory_overhead import characterize_memory_overhead
@@ -122,6 +125,15 @@ class ServetSuite:
         Inject a pre-built :class:`~repro.planner.PlanExecutor`
         (overrides ``jobs``/``prune``); one executor is shared by every
         phase so later phases reuse earlier measurements.
+    tracer:
+        Span collector (:class:`repro.obs.Tracer`).  A private tracer
+        with the backend's virtual clock is created when not given, so
+        ``servet run --trace`` and tests can always read spans off
+        ``suite.tracer``.
+    metrics:
+        Metrics registry shared with the planner (so the planner's
+        probe accounting and the exported metrics document agree).
+        Defaults to the injected planner's registry, else a fresh one.
     """
 
     def __init__(
@@ -134,16 +146,41 @@ class ServetSuite:
         jobs: int = 1,
         prune: str = "off",
         planner: PlanExecutor | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.backend = backend
         self.probe_tlb = probe_tlb
+        if metrics is not None:
+            self.metrics = metrics
+        elif planner is not None:
+            self.metrics = planner.metrics
+        else:
+            self.metrics = MetricsRegistry()
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(virtual_clock=lambda: self.backend.virtual_time)
+        )
         self.planner = (
             planner
             if planner is not None
-            else PlanExecutor(backend, prune=prune, jobs=jobs)
+            else PlanExecutor(
+                backend,
+                prune=prune,
+                jobs=jobs,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
         )
+        if self.planner.tracer is None:
+            self.planner.tracer = self.tracer
+        instrument_backend(backend, tracer=self.tracer, metrics=self.metrics)
         self.prune = self.planner.prune
         self.jobs = self.planner.jobs
+        #: Probes issued by the planner, per phase (checkpoint-resumable
+        #: breakdown; sums to the planner's ``issued`` counter).
+        self._phase_probes: dict[str, int] = {}
         if node_cores is None:
             cluster = getattr(backend, "cluster", None)
             if cluster is not None and cluster.n_nodes > 1:
@@ -190,7 +227,16 @@ class ServetSuite:
             # Carry the finished phases' planner accounting forward so
             # the final report counts the whole run, not just the
             # resumed tail.
-            self.planner.stats.merge(state.report.get("planner", {}))
+            planner_state = state.report.get("planner", {})
+            self.planner.stats.merge(planner_state)
+            for phase, count in planner_state.get("per_phase", {}).items():
+                count = int(count)
+                self._phase_probes[phase] = (
+                    self._phase_probes.get(phase, 0) + count
+                )
+                self.metrics.counter("suite.probes_issued", phase=phase).inc(
+                    count
+                )
         else:
             report = ServetReport(
                 system=backend.name,
@@ -277,6 +323,9 @@ class ServetSuite:
                     ),
                 )
             )
+        record_provenance(
+            report, detection.provenance_records(), phase="cache_size"
+        )
 
     def _phase_shared_caches(self, report: ServetReport) -> None:
         shared = detect_shared_caches(
@@ -289,12 +338,37 @@ class ServetSuite:
         for cache, pairs in zip(report.caches, shared.shared_pairs):
             cache.shared_pairs = pairs
             cache.sharing_groups = groups_from_pairs(pairs)
+        record_provenance(report, shared.provenance, phase="shared_caches")
 
     def _phase_tlb(self, report: ServetReport) -> None:
         tlb = detect_tlb_entries(
             self.backend, report.cache_sizes, core=self.node_cores[0]
         )
         report.tlb_entries = tlb.entries
+        if tlb.entries is not None:
+            sweep = tlb.mcalibrator
+            pids = _window_probe_ids(sweep, 0, len(sweep.sizes))
+            record_provenance(
+                report,
+                [
+                    ParameterProvenance(
+                        parameter="tlb.entries",
+                        value=tlb.entries,
+                        method="cliff-discounted",
+                        probes=pids,
+                        measurements={
+                            pid: float(c)
+                            for pid, c in zip(pids, sweep.cycles)
+                        },
+                        note=(
+                            f"one-line-per-page sweep at stride "
+                            f"{sweep.stride}; cache-capacity regions "
+                            f"{tlb.discounted_regions} discounted"
+                        ),
+                    )
+                ],
+                phase="tlb_detection",
+            )
 
     def _phase_memory(self, report: ServetReport) -> None:
         memory = characterize_memory_overhead(
@@ -313,6 +387,7 @@ class ServetSuite:
                     scalability=curve,
                 )
             )
+        record_provenance(report, memory.provenance, phase="memory_overhead")
 
     def _phase_comm(self, report: ServetReport, probe_size: int) -> None:
         comm = run_comm_costs(
@@ -329,6 +404,7 @@ class ServetSuite:
                     scalability=comm.scalability[layer.index],
                 )
             )
+        record_provenance(report, comm.provenance, phase="communication_costs")
 
     # -- resilience machinery ------------------------------------------------
 
@@ -344,9 +420,13 @@ class ServetSuite:
         if name in ctx.completed:
             return  # restored from a checkpoint
         self._drain_incidents()  # don't blame this phase for old incidents
+        issued_before = self.planner.stats.issued
         try:
-            self._timed(name, body)
+            with self.tracer.span("phase", phase=name) as span:
+                _, (virtual, wall) = self._timed(name, body)
+                span.set(virtual_seconds=virtual, wall_seconds=wall)
         except ReproError as exc:
+            self._account_phase(name, issued_before)
             ctx.report.phase_status[name] = "failed"
             ctx.report.phase_errors[name] = str(exc)
             if ctx.strict:
@@ -356,6 +436,7 @@ class ServetSuite:
             self._drain_incidents()
             self._finish_phase(ctx, name)
             return
+        self._account_phase(name, issued_before)
         incidents = self._drain_incidents()
         notes = []
         if degraded_note:
@@ -369,6 +450,23 @@ class ServetSuite:
         else:
             ctx.report.phase_status[name] = "ok"
         self._finish_phase(ctx, name)
+
+    def _account_phase(self, name: str, issued_before: int) -> None:
+        """Attribute the planner probes a phase triggered to its name.
+
+        Phases that bypass the planner (mcalibrator-driven cache and
+        TLB sweeps call the backend directly) contribute a zero delta,
+        so the per-phase counters always sum to the planner's global
+        ``issued`` count.
+        """
+        delta = self.planner.stats.issued - issued_before
+        self._phase_probes[name] = self._phase_probes.get(name, 0) + delta
+        if delta:
+            self.metrics.counter("suite.probes_issued", phase=name).inc(delta)
+        virtual, wall = self.timings.phases.get(name, (0.0, 0.0))
+        self.metrics.gauge("suite.phase_virtual_seconds", phase=name).set(virtual)
+        self.metrics.gauge("suite.phase_wall_seconds", phase=name).set(wall)
+        self.metrics.histogram("suite.phase_seconds").observe(wall)
 
     def _skip_phase(self, ctx: _RunContext, name: str, reason: str) -> None:
         if name in ctx.completed:
@@ -416,6 +514,7 @@ class ServetSuite:
         data: dict = dict(self.planner.stats.as_dict())
         data["prune"] = self.prune
         data["jobs"] = self.jobs
+        data["per_phase"] = dict(self._phase_probes)
         return data
 
     def _load_checkpoint(

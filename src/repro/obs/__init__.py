@@ -1,0 +1,38 @@
+"""Observability: structured tracing, metrics, and probe provenance.
+
+Three small, dependency-free pillars (DESIGN.md §6):
+
+- :mod:`repro.obs.trace` — spans with wall *and* virtual time, a
+  thread-safe collector, JSONL export, and a per-phase summarizer.
+- :mod:`repro.obs.metrics` — counters/gauges/histograms in a shared
+  registry; the planner's probe accounting and the tuning service's
+  cache counters are views over these instruments.
+- :mod:`repro.obs.provenance` — per-parameter evidence trails (probe
+  IDs + measurements) embedded in every report and queryable via
+  ``servet explain``.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from .provenance import ParameterProvenance, explain, record_provenance
+from .trace import Span, Tracer, load_jsonl, summarize
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ParameterProvenance",
+    "Span",
+    "Tracer",
+    "explain",
+    "load_jsonl",
+    "percentile",
+    "record_provenance",
+    "summarize",
+]

@@ -1,0 +1,139 @@
+"""Probe-level provenance: which measurements justified each parameter.
+
+Servet's whole value proposition is measuring hardware parameters
+instead of trusting documentation — so when a detected parameter looks
+wrong, the first question is *which probes produced that decision*.
+A :class:`ParameterProvenance` answers it: for every detected
+parameter (a cache size, a sharing relation, an overhead level, a
+communication layer) it records the deterministic probe IDs
+(:func:`repro.planner.plan.probe_id`) and the measured values the
+detection algorithm actually consumed, plus the method and decision
+threshold involved.
+
+Provenance is embedded in :class:`~repro.core.report.ServetReport`
+under the ``provenance`` key and queried with ``servet explain
+<parameter>``.  It is deliberately *excluded* from
+``measurement_dict()``: it describes how values were obtained, not the
+values themselves, so symmetry-pruned and incremental runs stay
+byte-comparable on measurements while carrying different cost
+metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+
+@dataclass
+class ParameterProvenance:
+    """The evidence trail behind one detected parameter."""
+
+    #: Dotted parameter path, e.g. ``cache.L2.size`` or ``comm.layer1.latency``.
+    parameter: str
+    #: The detected value (JSON-serializable).
+    value: object
+    #: Detection method, e.g. ``l1-peak``, ``ratio-threshold``.
+    method: str
+    #: Probe IDs whose measurements fed the decision.
+    probes: list[str] = field(default_factory=list)
+    #: Probe ID (or named quantity) -> the measured scalar consumed.
+    measurements: dict[str, float] = field(default_factory=dict)
+    #: Suite phase that produced the parameter (filled by the suite).
+    phase: str = ""
+    #: Free-form decision context (thresholds, window, references).
+    note: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "parameter": self.parameter,
+            "value": self.value,
+            "method": self.method,
+            "probes": list(self.probes),
+            "measurements": {k: float(v) for k, v in self.measurements.items()},
+            "phase": self.phase,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ParameterProvenance":
+        try:
+            return cls(
+                parameter=str(data["parameter"]),
+                value=data["value"],
+                method=str(data["method"]),
+                probes=[str(p) for p in data.get("probes", [])],
+                measurements={
+                    str(k): float(v)
+                    for k, v in data.get("measurements", {}).items()
+                },
+                phase=str(data.get("phase", "")),
+                note=str(data.get("note", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed provenance record: {exc}") from exc
+
+
+def record_provenance(report, records, phase: str) -> None:
+    """Attach phase-tagged provenance records to a report (in place)."""
+    for record in records:
+        record.phase = phase
+        report.provenance[record.parameter] = record.to_dict()
+
+
+def explain(report, parameter: str | None = None) -> str:
+    """Human-readable provenance lookup (the ``servet explain`` body).
+
+    With no ``parameter``, lists every parameter that carries
+    provenance.  A parameter may be named exactly or by unambiguous
+    prefix (``cache.L2`` matches ``cache.L2.size`` and
+    ``cache.L2.sharing``; both are printed).
+    """
+    available = sorted(report.provenance)
+    if not available:
+        return (
+            "report carries no provenance (produced by a pre-observability "
+            "version of the suite)"
+        )
+    if parameter is None:
+        lines = [f"parameters with provenance ({len(available)}):"]
+        lines.extend(f"  {name}" for name in available)
+        return "\n".join(lines)
+    matches = (
+        [parameter]
+        if parameter in report.provenance
+        else [name for name in available if name.startswith(parameter)]
+    )
+    if not matches:
+        raise ReproError(
+            f"no provenance for parameter {parameter!r}; available: "
+            + ", ".join(available)
+        )
+    blocks = []
+    for name in matches:
+        record = ParameterProvenance.from_dict(report.provenance[name])
+        lines = [f"{record.parameter} = {record.value}"]
+        if record.phase:
+            lines.append(f"  phase:  {record.phase}")
+        lines.append(f"  method: {record.method}")
+        if record.note:
+            lines.append(f"  note:   {record.note}")
+        if record.probes:
+            lines.append(f"  probes ({len(record.probes)}):")
+            for probe in record.probes[:20]:
+                suffix = ""
+                if probe in record.measurements:
+                    suffix = f" -> {record.measurements[probe]:.6g}"
+                lines.append(f"    {probe}{suffix}")
+            if len(record.probes) > 20:
+                lines.append(f"    ... and {len(record.probes) - 20} more")
+        extras = {
+            k: v for k, v in record.measurements.items() if k not in record.probes
+        }
+        if extras:
+            lines.append("  derived quantities:")
+            for key, value in sorted(extras.items()):
+                lines.append(f"    {key} = {value:.6g}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

@@ -23,6 +23,7 @@ from .plan import (
     StreamProbe,
     TraversalProbe,
     probe_cores,
+    probe_id,
     probe_kind,
 )
 from .symmetry import (
@@ -43,6 +44,7 @@ __all__ = [
     "StreamProbe",
     "TraversalProbe",
     "probe_cores",
+    "probe_id",
     "probe_kind",
     "PRUNE_MODES",
     "PairClass",

@@ -31,11 +31,13 @@ report measurements issued versus measurements saved.
 from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
-from dataclasses import dataclass, field
+from contextlib import nullcontext
 from collections.abc import Callable, Sequence
 
 from ..backends.base import Backend, ConcurrentLatency
 from ..errors import ConfigurationError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from ..topology.machine import CorePair
 from .plan import (
     ConcurrentMessageProbe,
@@ -46,6 +48,8 @@ from .plan import (
     StreamProbe,
     TraversalProbe,
     probe_cores,
+    probe_id,
+    probe_kind,
 )
 from .symmetry import TopologyClassifier, classifier_for, validate_prune_mode
 
@@ -56,30 +60,24 @@ from .symmetry import TopologyClassifier, classifier_for, validate_prune_mode
 VERIFY_TOLERANCE: float = 0.05
 
 
-@dataclass
 class PlannerStats:
-    """Counters of what the executor did (and did not have to do)."""
+    """Counters of what the executor did (and did not have to do).
 
-    #: Backend measurements actually performed.
-    issued: int = 0
-    #: Probes answered from the memo cache (deduplicated repeats).
-    cache_hits: int = 0
-    #: Pairwise probes answered by symmetry broadcast.
-    pruned: int = 0
-    #: Extra verify-mode spot-check measurements (also counted issued).
-    spot_checks: int = 0
-    #: Classes whose spot check diverged and were measured in full.
-    verify_fallbacks: int = 0
-    #: Pairwise probes the phases asked for (pruned or not).
-    pairwise_requested: int = 0
-    #: Pairwise probes that reached the backend.
-    pairwise_measured: int = 0
+    The counts live in :class:`~repro.obs.metrics.Counter` instruments
+    (names ``planner.issued`` etc.) inside a metrics registry — the
+    same registry a suite run exports with ``--metrics`` — so the
+    planner accounting in a report and the metrics document can never
+    disagree.  The attribute interface (``stats.issued += 1``) is
+    unchanged from the old dataclass.
+    """
 
-    @property
-    def saved(self) -> int:
-        """Measurements avoided (cache hits + symmetry broadcasts)."""
-        return self.cache_hits + self.pruned
-
+    #: issued — backend measurements actually performed;
+    #: cache_hits — probes answered from the memo cache;
+    #: pruned — pairwise probes answered by symmetry broadcast;
+    #: spot_checks — verify-mode extras (also counted issued);
+    #: verify_fallbacks — classes re-measured in full after divergence;
+    #: pairwise_requested / pairwise_measured — asked-for vs reached-
+    #: the-backend pairwise probes.
     _COUNTERS = (
         "issued",
         "cache_hits",
@@ -90,6 +88,20 @@ class PlannerStats:
         "pairwise_measured",
     )
 
+    def __init__(self, registry: MetricsRegistry | None = None, **initial: int):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        unknown = set(initial) - set(self._COUNTERS)
+        if unknown:
+            raise ConfigurationError(f"unknown planner counters: {sorted(unknown)}")
+        for name, value in initial.items():
+            if value:
+                self.registry.counter(f"planner.{name}").inc(value)
+
+    @property
+    def saved(self) -> int:
+        """Measurements avoided (cache hits + symmetry broadcasts)."""
+        return self.cache_hits + self.pruned
+
     def as_dict(self) -> dict[str, int]:
         data = {name: getattr(self, name) for name in self._COUNTERS}
         data["saved"] = self.saved
@@ -98,7 +110,24 @@ class PlannerStats:
     def merge(self, data: dict) -> None:
         """Add previously accumulated counters (checkpoint resume)."""
         for name in self._COUNTERS:
-            setattr(self, name, getattr(self, name) + int(data.get(name, 0)))
+            increment = int(data.get(name, 0))
+            if increment:
+                self.registry.counter(f"planner.{name}").inc(increment)
+
+
+def _stats_counter(name: str) -> property:
+    def _get(self: PlannerStats) -> int:
+        return int(self.registry.counter(f"planner.{name}").value)
+
+    def _set(self: PlannerStats, value: int) -> None:
+        self.registry.counter(f"planner.{name}").set(value)
+
+    return property(_get, _set)
+
+
+for _name in PlannerStats._COUNTERS:
+    setattr(PlannerStats, _name, _stats_counter(_name))
+del _name
 
 
 class PlanExecutor:
@@ -122,6 +151,12 @@ class PlanExecutor:
     verify_tolerance:
         Relative representative/spot-check disagreement that triggers a
         full-measurement fallback in ``verify`` mode.
+    tracer:
+        Emit a ``probe`` span around every measurement that reaches the
+        backend (None = no tracing overhead).
+    metrics:
+        Registry backing :attr:`stats` and the per-kind probe counters;
+        a private registry is created when not given.
     """
 
     def __init__(
@@ -131,6 +166,8 @@ class PlanExecutor:
         jobs: int = 1,
         classifier: TopologyClassifier | None = None,
         verify_tolerance: float = VERIFY_TOLERANCE,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.backend = backend
         self.prune = validate_prune_mode(prune)
@@ -148,7 +185,9 @@ class PlanExecutor:
         if verify_tolerance <= 0:
             raise ConfigurationError("verify_tolerance must be > 0")
         self.verify_tolerance = verify_tolerance
-        self.stats = PlannerStats()
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = PlannerStats(registry=self.metrics)
         self._memo: dict[Probe, object] = {}
 
     # -- plan execution -----------------------------------------------------
@@ -179,6 +218,11 @@ class PlanExecutor:
             self._memo[step.probe] = self._measure(step.probe)
             self.stats.issued += 1
 
+    def _issue_counter(self, probe: Probe):
+        return self.metrics.counter(
+            "planner.probes_issued", kind=probe_kind(probe)
+        )
+
     @property
     def _threaded(self) -> bool:
         return self.jobs > 1 and bool(
@@ -194,6 +238,9 @@ class PlanExecutor:
         """
         remaining = list(steps)
         busy: set[int] = set()
+        # Workers run in their own context: capture the submitting
+        # thread's span here so pooled probe spans nest correctly.
+        parent_span = self.tracer.current_span_id if self.tracer else None
         with ThreadPoolExecutor(max_workers=self.jobs) as pool:
             futures: dict = {}
             while remaining or futures:
@@ -205,9 +252,11 @@ class PlanExecutor:
                         deps_met = all(d in self._memo for d in step.after)
                         if deps_met and not (cores & busy):
                             busy |= cores
-                            futures[pool.submit(self._measure, step.probe)] = (
-                                step.probe
-                            )
+                            futures[
+                                pool.submit(
+                                    self._measure, step.probe, parent_span
+                                )
+                            ] = step.probe
                             remaining.pop(i)
                             launched = True
                             break
@@ -224,7 +273,23 @@ class PlanExecutor:
                     self._memo[probe] = future.result()
                     self.stats.issued += 1
 
-    def _measure(self, probe: Probe):
+    def _measure(self, probe: Probe, parent_span: str | None = None):
+        self._issue_counter(probe).inc()
+        span = (
+            self.tracer.span(
+                "probe",
+                parent_id=parent_span,
+                kind=probe_kind(probe),
+                probe_id=probe_id(probe),
+                cores=list(probe_cores(probe)),
+            )
+            if self.tracer is not None
+            else nullcontext()
+        )
+        with span:
+            return self._dispatch(probe)
+
+    def _dispatch(self, probe: Probe):
         backend = self.backend
         if isinstance(probe, TraversalProbe):
             return backend.traversal_cycles(list(probe.arrays), probe.stride)

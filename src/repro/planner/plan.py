@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Union
 
 from ..errors import ConfigurationError
+from ..ioutils import sha256_hex
 from ..topology.machine import CorePair
 
 
@@ -99,6 +100,18 @@ def probe_cores(probe: Probe) -> tuple[int, ...]:
     """Every core a probe pins work to (conflict detection for the
     wall-clock scheduler: probes sharing a core must not overlap)."""
     return probe.cores
+
+
+def probe_id(probe: Probe) -> str:
+    """Deterministic short identifier for a probe, e.g. ``message:3f2a...``.
+
+    Probes are frozen value objects with deterministic dataclass reprs,
+    so hashing the repr gives an ID that is stable across processes and
+    runs — the handle provenance records and trace spans use to refer
+    to the same measurement.
+    """
+    digest = sha256_hex(f"{probe_kind(probe)}|{probe!r}")
+    return f"{probe_kind(probe)}:{digest[:12]}"
 
 
 @dataclass(frozen=True)

@@ -25,12 +25,15 @@ import random
 import threading
 import time
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
 
 from ..autotune import Advisor
 from ..core.report import ServetReport
 from ..errors import ServiceError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from .fingerprint import normalize_options
 
 #: Union of the query value objects the service answers.
@@ -196,18 +199,6 @@ class LRUTTLCache:
             return len(self._entries)
 
 
-#: Latency samples kept for the percentile estimates (newest wins).
-_LATENCY_WINDOW = 8192
-
-
-def _percentile(samples: list[float], fraction: float) -> float:
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, int(fraction * len(ordered)))
-    return ordered[index]
-
-
 class TuningService:
     """Concurrent query answering over one report, with an answer cache.
 
@@ -220,6 +211,15 @@ class TuningService:
     timer:
         Latency clock for the per-query metrics (injectable for
         deterministic tests).
+    metrics:
+        Registry holding the service's counters and latency histogram
+        (``service.queries{result=...}``, ``service.query_latency``);
+        a private registry is created when not given, so
+        :meth:`metrics` always works.
+    tracer:
+        Optional span collector; when given, every :meth:`query` emits
+        a ``service.query`` span tagged with the query type and
+        hit/miss outcome.
     """
 
     def __init__(
@@ -229,15 +229,29 @@ class TuningService:
         ttl: float | None = None,
         clock: Callable[[], float] = time.monotonic,
         timer: Callable[[], float] = time.perf_counter,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.report = report
         self.advisor = Advisor(report)
         self.cache = LRUTTLCache(capacity=capacity, ttl=ttl, clock=clock)
         self._timer = timer
-        self._metrics_lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._latencies: list[float] = []
+        self.metrics_registry = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._hit_counter = self.metrics_registry.counter(
+            "service.queries", result="hit"
+        )
+        self._miss_counter = self.metrics_registry.counter(
+            "service.queries", result="miss"
+        )
+        self._latency = self.metrics_registry.histogram(
+            "service.query_latency_seconds"
+        )
+        # Single-flight stripes: concurrent misses on the same key
+        # serialize on hash(key)'s stripe and re-check the cache, so a
+        # fresh key is computed (and counted as a miss) exactly once no
+        # matter how clients interleave.
+        self._miss_stripes = tuple(threading.Lock() for _ in range(64))
 
     @classmethod
     def from_registry(
@@ -249,29 +263,35 @@ class TuningService:
     def query(self, query: Query) -> dict:
         """Answer one query, cache-first."""
         start = self._timer()
-        hit, value = self.cache.get(query)
-        if not hit:
-            # Compute outside the cache lock: concurrent misses on the
-            # same key may duplicate work, but answers are deterministic
-            # so the last writer stores the same value.
-            value = answer(self.advisor, query)
-            self.cache.put(query, value)
+        span_ctx = (
+            self.tracer.span("service.query", query=type(query).__name__)
+            if self.tracer is not None
+            else None
+        )
+        with span_ctx if span_ctx is not None else nullcontext():
+            hit, value = self.cache.get(query)
+            if not hit:
+                # Compute outside the cache lock but under the key's
+                # single-flight stripe: a racing client blocks here,
+                # then finds the value on the re-check, so duplicate
+                # work is avoided and hit/miss counts depend only on
+                # the distinct-key set, not on thread interleaving.
+                with self._miss_stripes[hash(query) % len(self._miss_stripes)]:
+                    hit, value = self.cache.get(query)
+                    if not hit:
+                        value = answer(self.advisor, query)
+                        self.cache.put(query, value)
+            if span_ctx is not None:
+                span_ctx.span.set(hit=bool(hit))
         elapsed = self._timer() - start
-        with self._metrics_lock:
-            if hit:
-                self._hits += 1
-            else:
-                self._misses += 1
-            self._latencies.append(elapsed)
-            if len(self._latencies) > _LATENCY_WINDOW:
-                del self._latencies[: -_LATENCY_WINDOW]
+        (self._hit_counter if hit else self._miss_counter).inc()
+        self._latency.observe(elapsed)
         return value
 
     def metrics(self) -> dict:
         """Hit/miss counters, cache occupancy, latency percentiles."""
-        with self._metrics_lock:
-            hits, misses = self._hits, self._misses
-            samples = list(self._latencies)
+        hits = int(self._hit_counter.value)
+        misses = int(self._miss_counter.value)
         total = hits + misses
         return {
             "queries": total,
@@ -281,9 +301,9 @@ class TuningService:
             "evictions": self.cache.evictions,
             "expirations": self.cache.expirations,
             "cache_entries": len(self.cache),
-            "latency_p50": _percentile(samples, 0.50),
-            "latency_p90": _percentile(samples, 0.90),
-            "latency_p99": _percentile(samples, 0.99),
+            "latency_p50": self._latency.percentile(0.50),
+            "latency_p90": self._latency.percentile(0.90),
+            "latency_p99": self._latency.percentile(0.99),
         }
 
 

@@ -9,6 +9,21 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden report fixtures under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")
+
 from repro import ServetSuite, SimulatedBackend, dunnington, finis_terrae
 from repro.core.report import ServetReport
 

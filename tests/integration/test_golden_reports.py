@@ -1,0 +1,68 @@
+"""Golden-report regression tests.
+
+At ``noise=0`` with a fixed seed the whole pipeline is deterministic,
+so the measurement payload of a suite run can be pinned byte-for-byte.
+Any change to detection logic, the simulator, or serialization that
+moves a number shows up here as a readable JSON diff — silently
+shifting a detected cache size can no longer slip through.
+
+Only ``measurement_dict()`` is pinned (timings, planner accounting and
+provenance vary legitimately with scheduling and internals); the
+goldens live in ``tests/golden/`` and are regenerated with::
+
+    pytest tests/integration/test_golden_reports.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import ServetSuite, SimulatedBackend, dunnington, finis_terrae
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+PRESETS = {
+    "dunnington": dunnington,
+    "finis_terrae_2node": lambda: finis_terrae(2),
+}
+
+
+def canonical_bytes(report) -> bytes:
+    return (
+        json.dumps(report.measurement_dict(), sort_keys=True, indent=2) + "\n"
+    ).encode("utf-8")
+
+
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+def test_golden_report(preset, update_golden):
+    backend = SimulatedBackend(PRESETS[preset](), seed=42, noise=0.0)
+    report = ServetSuite(backend).run()
+    got = canonical_bytes(report)
+
+    path = GOLDEN_DIR / f"{preset}.json"
+    if update_golden:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(got)
+        return
+    if not path.exists():
+        pytest.fail(
+            f"missing golden fixture {path}; generate it with "
+            "`pytest tests/integration/test_golden_reports.py --update-golden`"
+        )
+    want = path.read_bytes()
+    if got != want:
+        got_d = json.loads(got)
+        want_d = json.loads(want)
+        changed = sorted(
+            k
+            for k in set(got_d) | set(want_d)
+            if got_d.get(k) != want_d.get(k)
+        )
+        pytest.fail(
+            f"{preset}: measurement payload diverged from {path} in "
+            f"top-level section(s) {changed}; if the change is intended, "
+            "regenerate with --update-golden and review the diff"
+        )

@@ -1,0 +1,148 @@
+"""Seeded-random property tests over the detection invariants.
+
+Where :mod:`tests.property` uses hypothesis to search for adversarial
+machine geometries, this suite pins the invariants that must hold on
+*every* machine the builders can produce, across a fixed spread of
+seeds (so a regression names the exact seed that broke):
+
+- detected cache sizes are strictly monotone in the level index;
+- the shared-cache relation is symmetric and transitive within a
+  sharing group;
+- a ``prune="topology"`` planner never issues more probes than
+  ``prune="off"`` for the same batch;
+- machine fingerprints are invariant under dict-key reordering.
+
+Machines are drawn with :func:`repro.rng.ensure_rng` generators only —
+no hypothesis, no new dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import SimulatedBackend
+from repro.core.cache_size import detect_caches
+from repro.core.shared_cache import detect_shared_caches
+from repro.planner import PlanExecutor
+from repro.rng import ensure_rng
+from repro.service import machine_fingerprint
+from repro.topology import generic_smp
+from repro.topology.machine import all_pairs
+from repro.units import KiB, MiB
+
+SEEDS = list(range(24))  # >= 20 seeds, per the acceptance bar
+
+
+def random_two_level_machine(rng: np.random.Generator, n_cores: int = 2):
+    """A random-but-valid two-level SMP (valid geometry, separated sizes,
+    power-of-two set counts), mirroring the hypothesis strategy in
+    tests/property/test_prop_detection.py but driven by a seeded rng."""
+    l1_size = int(rng.choice([8 * KiB, 16 * KiB, 32 * KiB, 64 * KiB]))
+    l1_ways = int(rng.choice([2, 4, 8]))
+    l2_choices = []
+    for size in (256 * KiB, 512 * KiB, 1 * MiB, 2 * MiB, 3 * MiB, 4 * MiB):
+        if size < 8 * l1_size:
+            continue
+        for ways in (4, 8, 12, 16):
+            sets = size // (ways * 64)
+            if sets * ways * 64 != size or sets & (sets - 1):
+                continue
+            if size % (ways * 4 * KiB) != 0:
+                continue
+            l2_choices.append((size, ways))
+    l2_size, l2_ways = sorted(l2_choices)[int(rng.integers(len(l2_choices)))]
+    shared_by = int(rng.choice([s for s in (1, 2, n_cores) if n_cores % s == 0]))
+    return generic_smp(
+        name="prop-smp",
+        n_cores=n_cores,
+        levels=[
+            (l1_size, l1_ways, 1, 3.0),
+            (l2_size, l2_ways, shared_by, 18.0),
+        ],
+        mem_latency=280.0,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cache_sizes_monotone_per_level(seed):
+    """Detected sizes must grow strictly with the level index."""
+    rng = ensure_rng(seed)
+    machine = random_two_level_machine(rng)
+    backend = SimulatedBackend(machine, seed=seed)
+    result = detect_caches(backend)
+    sizes = result.sizes
+    assert sizes, seed
+    assert all(a < b for a, b in zip(sizes, sizes[1:])), (seed, sizes)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_shared_cache_relation_symmetric_and_transitive(seed):
+    """Within every level the 'shares a cache with' relation must be an
+    equivalence on the cores it touches: symmetric (groups agree from
+    both endpoints) and transitive (a~b and b~c imply a~c)."""
+    rng = ensure_rng(1000 + seed)
+    n_cores = int(rng.choice([4, 6, 8]))
+    machine = random_two_level_machine(rng, n_cores=n_cores)
+    backend = SimulatedBackend(machine, seed=seed, noise=0.0)
+    truth = [level.spec.size for level in machine.levels]
+    result = detect_shared_caches(backend, truth)
+    for level in range(1, len(truth) + 1):
+        pairs = {tuple(sorted(p)) for p in result.shared_pairs[level - 1]}
+        related = {c for pair in pairs for c in pair}
+        for a in related:
+            for b in related:
+                if a == b:
+                    continue
+                ab = tuple(sorted((a, b))) in pairs
+                # symmetry: membership seen identically from both ends
+                assert (b in result.sharing_group(a, level)) == ab, (seed, level, a, b)
+                assert (a in result.sharing_group(b, level)) == ab, (seed, level, a, b)
+                # transitivity: a~b and b~c imply a~c
+                for c in related:
+                    if c in (a, b):
+                        continue
+                    if ab and tuple(sorted((b, c))) in pairs:
+                        assert tuple(sorted((a, c))) in pairs, (seed, level, a, b, c)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_topology_pruning_never_issues_more_probes(seed):
+    """For the same pairwise batch, ``prune='topology'`` must issue at
+    most as many measurements as ``prune='off'``."""
+    rng = ensure_rng(2000 + seed)
+    n_cores = int(rng.choice([4, 6, 8]))
+    machine = random_two_level_machine(rng, n_cores=n_cores)
+    probe_size = machine.levels[0].spec.size
+    pairs = all_pairs(list(range(n_cores)))
+
+    issued = {}
+    for prune in ("off", "topology"):
+        backend = SimulatedBackend(machine, seed=seed, noise=0.0)
+        executor = PlanExecutor(backend, prune=prune)
+        executor.pairwise_message_latency(pairs, probe_size)
+        issued[prune] = executor.stats.issued
+    assert issued["topology"] <= issued["off"], (seed, issued)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fingerprint_stable_under_key_reordering(seed):
+    """The digest must not depend on dict insertion order anywhere in
+    the fingerprint inputs."""
+    rng = ensure_rng(3000 + seed)
+    machine = random_two_level_machine(rng, n_cores=4)
+    options = {
+        "node_cores": [0, 1, 2],
+        "comm_cores": None,
+        "probe_tlb": bool(rng.integers(2)),
+        "prune": str(rng.choice(["off", "topology", "verify"])),
+    }
+    keys = list(options)
+    order = rng.permutation(len(keys))
+    shuffled = {keys[i]: options[keys[i]] for i in order}
+    assert list(shuffled) != keys or (order == np.arange(len(keys))).all()
+
+    fp_a = machine_fingerprint(machine, options=options)
+    fp_b = machine_fingerprint(machine, options=shuffled)
+    assert fp_a.digest == fp_b.digest, seed
+    assert fp_a.inputs == fp_b.inputs, seed
