@@ -16,6 +16,10 @@ Subcommands:
 - ``servet query SPEC KIND`` — answer one tuning query from a stored
   report.
 - ``servet registry list|gc`` — inspect / garbage-collect the registry.
+- ``servet fleet generate|survey|status|resume`` — fault-tolerant
+  characterization of a whole fleet: dedup machines by hardware class,
+  survive worker crashes via leases and bounded retries, checkpoint
+  and resume, and report per-machine health.
 """
 
 from __future__ import annotations
@@ -31,6 +35,15 @@ from .autotune import Advisor
 from .backends import SimulatedBackend
 from .core import ServetReport, ServetSuite
 from .errors import ReproError
+from .fleet import (
+    FleetConfig,
+    FleetCoordinator,
+    FleetFaultPlan,
+    FleetReport,
+    FleetSpec,
+    ShardedFleetStore,
+    generate_fleet,
+)
 from .resilience import (
     FaultInjectingBackend,
     FaultPlan,
@@ -165,6 +178,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run up to N independent measurements concurrently on "
         "wall-clock-bound backends (simulated backends always run "
         "serially to stay deterministic)",
+    )
+    run.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abandon and re-dispatch any pooled probe that produces no "
+        "result within this many wall seconds (requires --jobs > 1; "
+        "keeps one hung measurement from stalling the plan)",
     )
 
     run.add_argument(
@@ -369,6 +391,103 @@ def _build_parser() -> argparse.ArgumentParser:
         "--prune", choices=list(PRUNE_MODES), default="off", help="prune mode"
     )
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="survey a whole fleet of machines fault-tolerantly",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fgen = fleet_sub.add_parser(
+        "generate",
+        help="write a reproducible heterogeneous fleet spec (JSON)",
+    )
+    fgen.add_argument("-o", "--output", required=True, help="output JSON path")
+    fgen.add_argument(
+        "--machines", type=int, default=200, help="fleet size (default 200)"
+    )
+    fgen.add_argument(
+        "--classes",
+        type=int,
+        default=40,
+        help="distinct hardware classes (default 40)",
+    )
+    fgen.add_argument("--seed", type=int, default=0, help="fleet RNG seed")
+    fgen.add_argument(
+        "--noise", type=float, default=0.0, help="measurement noise (default 0)"
+    )
+    fgen.add_argument("--name", default="fleet", help="fleet name")
+
+    def _add_survey_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("spec", help="fleet spec JSON (see 'fleet generate')")
+        p.add_argument(
+            "--store",
+            required=True,
+            metavar="DIR",
+            help="sharded report store root (class reports + fleet_report.json)",
+        )
+        p.add_argument(
+            "--shards", type=int, default=16, help="store shard count (default 16)"
+        )
+        p.add_argument(
+            "--workers", type=int, default=8, help="worker count (default 8)"
+        )
+        p.add_argument(
+            "--checkpoint",
+            default=None,
+            metavar="PATH",
+            help="fleet checkpoint path (rewritten after every finished class)",
+        )
+        p.add_argument(
+            "--fault-plan",
+            default=None,
+            metavar="PATH",
+            help="inject deterministic fleet faults (crashes, stragglers, "
+            "flaky machines) from a JSON FleetFaultPlan",
+        )
+        p.add_argument(
+            "--lease",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="job lease duration (logical seconds)",
+        )
+        p.add_argument(
+            "--max-attempts",
+            type=int,
+            default=None,
+            metavar="N",
+            help="reassignments before a class is marked failed",
+        )
+        p.add_argument(
+            "-o", "--output", default=None, help="also write the fleet report here"
+        )
+        p.add_argument(
+            "--metrics",
+            default=None,
+            metavar="FILE",
+            help="write the survey's metrics registry as JSON",
+        )
+
+    fsurvey = fleet_sub.add_parser(
+        "survey", help="characterize every machine of a fleet"
+    )
+    _add_survey_options(fsurvey)
+
+    fresume = fleet_sub.add_parser(
+        "resume",
+        help="resume an interrupted survey from its fleet checkpoint",
+    )
+    _add_survey_options(fresume)
+
+    fstatus = fleet_sub.add_parser(
+        "status", help="pretty-print a fleet report"
+    )
+    fstatus.add_argument(
+        "path",
+        help="fleet report JSON, or a store directory containing "
+        "fleet_report.json",
+    )
+
     val = sub.add_parser(
         "validate",
         help="compare a report against a built-in machine's ground truth "
@@ -485,7 +604,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume and args.checkpoint is None:
         print("error: --resume requires --checkpoint", file=sys.stderr)
         return 2
-    suite = ServetSuite(backend, jobs=args.jobs, prune=args.prune)
+    suite = ServetSuite(
+        backend,
+        jobs=args.jobs,
+        prune=args.prune,
+        probe_timeout=args.probe_timeout,
+    )
     report = suite.run(
         strict=not args.lenient,
         checkpoint=args.checkpoint,
@@ -681,14 +805,33 @@ def _cmd_registry(args: argparse.Namespace) -> int:
     registry = ReportRegistry(args.registry)
     if args.registry_command == "list":
         entries = registry.entries()
-        if not entries:
+        quarantined = registry.quarantined_counts()
+        if not entries and not quarantined:
             print(f"registry {args.registry} is empty")
             return 0
         print(f"registry {args.registry}:")
         for entry in entries:
+            flag = ""
+            if entry.digest in quarantined:
+                flag = f"  [{quarantined[entry.digest]} quarantined]"
             print(
                 f"  {entry.short} v{entry.version}  {entry.system} "
                 f"({entry.n_cores} cores, schema v{entry.schema_version})"
+                f"{flag}"
+            )
+        listed = {entry.digest for entry in entries}
+        for digest, count in sorted(quarantined.items()):
+            if digest not in listed:
+                print(
+                    f"  {digest[:12]}  no intact versions "
+                    f"[{count} quarantined]"
+                )
+        total = sum(quarantined.values())
+        if total:
+            print(
+                f"  ({total} quarantined file(s) across "
+                f"{len(quarantined)} fingerprint(s); "
+                "'servet registry gc' sweeps them)"
             )
         return 0
     if args.registry_command == "gc":
@@ -710,6 +853,71 @@ def _cmd_registry(args: argparse.Namespace) -> int:
                 f"stored as {result.entry.short} v{result.entry.version} "
                 f"(probes issued: {result.report.planner.get('issued', 0)})"
             )
+        return 0
+    raise AssertionError("unreachable")
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_command == "generate":
+        spec = generate_fleet(
+            n_machines=args.machines,
+            n_classes=args.classes,
+            seed=args.seed,
+            name=args.name,
+            noise=args.noise,
+        )
+        spec.save(args.output)
+        print(
+            f"fleet spec written to {args.output}: "
+            f"{len(spec.machines)} machine(s) in {len(spec.classes())} "
+            f"hardware class(es)"
+        )
+        return 0
+    if args.fleet_command == "status":
+        path = Path(args.path)
+        if path.is_dir():
+            path = path / "fleet_report.json"
+        print(FleetReport.load(path).summary())
+        return 0
+    if args.fleet_command in ("survey", "resume"):
+        resume = args.fleet_command == "resume"
+        if resume and args.checkpoint is None:
+            print("error: fleet resume requires --checkpoint", file=sys.stderr)
+            return 2
+        spec = FleetSpec.load(args.spec)
+        overrides = {}
+        if args.workers is not None:
+            overrides["workers"] = args.workers
+        if args.lease is not None:
+            overrides["lease_seconds"] = args.lease
+        if args.max_attempts is not None:
+            overrides["max_attempts"] = args.max_attempts
+        config = FleetConfig(**overrides)
+        fault_plan = (
+            FleetFaultPlan.load(args.fault_plan)
+            if args.fault_plan is not None
+            else None
+        )
+        coordinator = FleetCoordinator(
+            spec,
+            store=ShardedFleetStore(args.store, shards=args.shards),
+            config=config,
+            fault_plan=fault_plan,
+            checkpoint=args.checkpoint,
+        )
+        report = coordinator.survey(resume=resume)
+        print(report.summary())
+        if args.metrics:
+            coordinator.metrics.save_json(args.metrics)
+            print(f"metrics written to {args.metrics}")
+        if args.output:
+            report.save(args.output)
+            print(f"fleet report written to {args.output}")
+        print(f"class reports stored in {args.store}")
+        if not report.complete:
+            return 3  # drained before finishing; resume to continue
+        if report.counts.get("failed"):
+            return 1
         return 0
     raise AssertionError("unreachable")
 
@@ -758,6 +966,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_query(args)
         if args.command == "registry":
             return _cmd_registry(args)
+        if args.command == "fleet":
+            return _cmd_fleet(args)
         if args.command == "explain":
             return _cmd_explain(args)
         if args.command == "trace":

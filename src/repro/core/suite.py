@@ -134,6 +134,11 @@ class ServetSuite:
         Metrics registry shared with the planner (so the planner's
         probe accounting and the exported metrics document agree).
         Defaults to the injected planner's registry, else a fresh one.
+    probe_timeout:
+        Per-probe wall-clock deadline for the worker pool (see
+        :class:`~repro.planner.PlanExecutor`): a hung wall-clock probe
+        is abandoned, counted, and re-dispatched instead of stalling
+        the whole plan.  Ignored when ``planner`` is injected.
     """
 
     def __init__(
@@ -148,6 +153,7 @@ class ServetSuite:
         planner: PlanExecutor | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        probe_timeout: float | None = None,
     ) -> None:
         self.backend = backend
         self.probe_tlb = probe_tlb
@@ -171,6 +177,7 @@ class ServetSuite:
                 jobs=jobs,
                 tracer=self.tracer,
                 metrics=self.metrics,
+                probe_timeout=probe_timeout,
             )
         )
         if self.planner.tracer is None:

@@ -84,6 +84,23 @@ class ServiceError(ReproError):
     """
 
 
+class FleetError(ReproError):
+    """A fleet survey could not be planned, run, or resumed.
+
+    Examples: a fleet spec with zero machines, a checkpoint belonging
+    to a different fleet, or a survey asked to resume without a
+    checkpoint path.
+    """
+
+
+class FleetProtocolError(FleetError):
+    """A coordinator/worker message violates the typed protocol.
+
+    Examples: an unknown message type, a payload missing the fields its
+    type requires, or a decode of malformed JSON.
+    """
+
+
 class RegistryError(ServiceError):
     """A report-registry operation failed.
 

@@ -1,0 +1,199 @@
+"""The fleet report: one document describing a whole installation.
+
+Where :class:`~repro.core.report.ServetReport` answers "what is this
+machine like", :class:`FleetReport` answers "what is this *site* like"
+— which hardware classes exist, which machine represents each, who is
+degraded, failed, or quarantined, and how much measurement the
+fingerprint dedup saved.
+
+Two canonical forms, following the repo's convention for the suite
+report:
+
+- :meth:`to_dict` is the full document, including volatile accounting
+  (wall/logical timing, protocol counters, attempt counts, error
+  chains).
+- :meth:`survey_dict` is the *measured content only*: machine
+  statuses, class membership, and each class's
+  ``ServetReport.measurement_dict()``.  Two surveys of the same fleet
+  at noise=0 — one fault-free, one with crashes and stragglers — are
+  compared on this form, and must agree for every surviving machine;
+  a kill+resume survey must agree on it entirely.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.report import ServetReport
+from ..errors import FleetError
+from ..ioutils import atomic_write_text
+
+__all__ = ["FleetReport", "MACHINE_STATUSES"]
+
+#: Per-machine outcomes a survey can assign.
+MACHINE_STATUSES = ("ok", "degraded", "failed", "quarantined", "pending")
+
+
+@dataclass
+class FleetReport:
+    """Outcome of one fleet survey."""
+
+    fleet: str
+    fleet_fingerprint: str
+    #: class key -> {name, machines, status, measured_machine, attempts,
+    #:               errors, report (dict|None), report_degraded,
+    #:               quarantined_members}
+    classes: dict[str, dict] = field(default_factory=dict)
+    #: machine id -> one of :data:`MACHINE_STATUSES`.
+    machines: dict[str, str] = field(default_factory=dict)
+    dedup: dict = field(default_factory=dict)
+    counts: dict = field(default_factory=dict)
+    timing: dict = field(default_factory=dict)
+    protocol: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for machine, status in self.machines.items():
+            if status not in MACHINE_STATUSES:
+                raise FleetError(
+                    f"machine {machine!r} has unknown status {status!r}"
+                )
+
+    @property
+    def complete(self) -> bool:
+        """True when no machine was left pending (no drain mid-survey)."""
+        return all(s != "pending" for s in self.machines.values())
+
+    def class_report(self, key: str) -> ServetReport | None:
+        """The measured report of one class (None if never measured)."""
+        record = self.classes.get(key)
+        if record is None:
+            raise FleetError(f"fleet report has no class {key[:12]!r}")
+        if record.get("report") is None:
+            return None
+        return ServetReport.from_dict(record["report"])
+
+    def report_for(self, machine_id: str) -> ServetReport | None:
+        """The report a machine inherits from its class representative."""
+        for key, record in self.classes.items():
+            if machine_id in record["machines"]:
+                return self.class_report(key)
+        raise FleetError(f"fleet report has no machine {machine_id!r}")
+
+    # -- canonical forms ---------------------------------------------------
+
+    def survey_dict(self) -> dict:
+        """The measured content only — no scheduling accounting.
+
+        Drops timing, protocol counters, attempt counts, error chains,
+        and the identity of the representative (a lease expiry or a
+        quarantine promotion may change *who* was measured without
+        changing *what* identical hardware reports).  Per-class reports
+        are reduced to ``measurement_dict()``.
+        """
+        classes = {}
+        for key, record in self.classes.items():
+            report = record.get("report")
+            if report is not None:
+                report = ServetReport.from_dict(report).measurement_dict()
+            classes[key] = {
+                "name": record["name"],
+                "machines": list(record["machines"]),
+                "status": record["status"],
+                "quarantined_members": list(record.get("quarantined_members", [])),
+                "report": report,
+            }
+        return {
+            "fleet": self.fleet,
+            "fleet_fingerprint": self.fleet_fingerprint,
+            "machines": dict(self.machines),
+            "counts": dict(self.counts),
+            "dedup": dict(self.dedup),
+            "classes": classes,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "fleet": self.fleet,
+            "fleet_fingerprint": self.fleet_fingerprint,
+            "classes": self.classes,
+            "machines": self.machines,
+            "dedup": self.dedup,
+            "counts": self.counts,
+            "timing": self.timing,
+            "protocol": self.protocol,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetReport":
+        try:
+            return cls(
+                fleet=str(data["fleet"]),
+                fleet_fingerprint=str(data["fleet_fingerprint"]),
+                classes={str(k): dict(v) for k, v in data["classes"].items()},
+                machines={str(k): str(v) for k, v in data["machines"].items()},
+                dedup=dict(data.get("dedup", {})),
+                counts=dict(data.get("counts", {})),
+                timing=dict(data.get("timing", {})),
+                protocol=dict(data.get("protocol", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FleetError(f"malformed fleet report: {exc}") from exc
+
+    def save(self, path: str | Path) -> None:
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FleetReport":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FleetError(f"cannot load fleet report {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+    # -- presentation ------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable digest (``servet fleet status`` output)."""
+        lines = [
+            f"Fleet survey of {self.fleet!r}: "
+            f"{len(self.machines)} machine(s) in {len(self.classes)} "
+            f"hardware class(es)"
+        ]
+        counts = {s: self.counts.get(s, 0) for s in MACHINE_STATUSES}
+        lines.append(
+            "Machines: "
+            + ", ".join(f"{counts[s]} {s}" for s in MACHINE_STATUSES if counts[s])
+        )
+        ratio = self.dedup.get("ratio")
+        if ratio:
+            lines.append(
+                f"Dedup: {self.dedup.get('measured', 0)} measurement(s) "
+                f"cover {self.dedup.get('machines', 0)} machine(s) "
+                f"({ratio:.1f}x)"
+            )
+        if self.timing:
+            lines.append(
+                f"Timing: {self.timing.get('logical_seconds', 0.0):.0f}s "
+                f"logical, {self.timing.get('wall_seconds', 0.0):.1f}s wall"
+            )
+        for key, record in self.classes.items():
+            status = record["status"]
+            detail = f"{len(record['machines'])} machine(s)"
+            if record.get("measured_machine"):
+                detail += f", measured on {record['measured_machine']}"
+            if record.get("quarantined_members"):
+                detail += (
+                    f", quarantined: {', '.join(record['quarantined_members'])}"
+                )
+            lines.append(f"  {record['name']} [{status}]: {detail}")
+            if status == "failed" and record.get("errors"):
+                lines.append(f"    last error: {record['errors'][-1]}")
+        if not self.complete:
+            pending = [m for m, s in self.machines.items() if s == "pending"]
+            lines.append(
+                f"Survey incomplete: {len(pending)} machine(s) pending "
+                "(resume with `servet fleet resume`)"
+            )
+        return "\n".join(lines)

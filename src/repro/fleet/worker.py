@@ -1,0 +1,341 @@
+"""Fleet workers: the Droid side of the survey protocol.
+
+A :class:`FleetWorker` holds no thread and no socket — it is a
+deterministic state machine driven by the coordinator's discrete-event
+loop.  ``on_message(msg, now)`` consumes one frame and returns the
+*future* frames the worker will emit, each tagged with its logical
+fire time: heartbeats while a job runs, then a ``RESULT`` (or nothing,
+if the worker crashed mid-job) and the next ``JOB_REQUEST``.  Because
+a worker's entire behavior is a pure function of its inputs and its
+seeded RNG stream, every survey — including every crash and every
+straggler — replays identically under the same fleet seed.
+
+Fault injection lives in :class:`FleetFaultPlan`: per-dispatch crash
+probability (the worker dies mid-job and respawns later), straggler
+probability (the job takes ``straggle_factor`` times longer but keeps
+heartbeating), and a set of *flaky* machines whose reports come back
+corrupted — the case leases and retries cannot catch, handled by the
+coordinator's plausibility quarantine instead.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..backends.simulated import SimulatedBackend
+from ..core.suite import ServetSuite
+from ..errors import FleetError, FleetProtocolError
+from ..ioutils import atomic_write_text
+from ..service.fingerprint import fingerprint_of
+from .protocol import (
+    COORDINATOR,
+    DRAIN,
+    FAILURE,
+    HEARTBEAT,
+    JOB_DISPATCH,
+    JOB_REQUEST,
+    NO_MORE_JOBS,
+    RESULT,
+    Message,
+)
+from .spec import HardwareClass, stable_seed
+
+__all__ = ["FleetFaultPlan", "FleetWorker"]
+
+#: Ceiling on heartbeats per job: very long jobs stretch their
+#: heartbeat interval rather than flooding the event heap.
+_MAX_HEARTBEATS_PER_JOB = 200
+
+
+@dataclass(frozen=True)
+class FleetFaultPlan:
+    """Deterministic fault schedule for a survey.
+
+    ``crash_rate`` and ``straggler_rate`` are per-dispatch
+    probabilities drawn from each worker's seeded stream;
+    ``flaky_machines`` is an explicit machine-id set because flakiness
+    is a property of the *machine*, not of the worker that happens to
+    measure it.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    respawn_seconds: float = 300.0
+    straggler_rate: float = 0.0
+    straggle_factor: float = 10.0
+    flaky_machines: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "straggler_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FleetError(f"{name} must be in [0, 1], got {value!r}")
+        if self.respawn_seconds <= 0:
+            raise FleetError("respawn_seconds must be > 0")
+        if self.straggle_factor <= 1.0:
+            raise FleetError("straggle_factor must be > 1")
+        object.__setattr__(
+            self, "flaky_machines", tuple(sorted(set(self.flaky_machines)))
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "crash_rate": self.crash_rate,
+            "respawn_seconds": self.respawn_seconds,
+            "straggler_rate": self.straggler_rate,
+            "straggle_factor": self.straggle_factor,
+            "flaky_machines": list(self.flaky_machines),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetFaultPlan":
+        try:
+            return cls(
+                seed=int(data.get("seed", 0)),
+                crash_rate=float(data.get("crash_rate", 0.0)),
+                respawn_seconds=float(data.get("respawn_seconds", 300.0)),
+                straggler_rate=float(data.get("straggler_rate", 0.0)),
+                straggle_factor=float(data.get("straggle_factor", 10.0)),
+                flaky_machines=tuple(data.get("flaky_machines", ())),
+            )
+        except (TypeError, ValueError) as exc:
+            raise FleetError(f"malformed fleet fault plan: {exc}") from exc
+
+    def save(self, path: str | Path) -> None:
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FleetFaultPlan":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FleetError(f"cannot load fault plan {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+
+class FleetWorker:
+    """One measurement host, driven entirely through the protocol.
+
+    Parameters
+    ----------
+    worker_id:
+        Protocol address (``w0``, ``w1``, ...).
+    fault_plan:
+        Optional fault schedule; ``None`` means a perfectly healthy
+        worker.  The worker draws crash/straggle decisions from a
+        stream seeded by ``(plan seed, worker id)`` — per *dispatch*,
+        not per machine, so a retried job is not doomed to repeat its
+        first attempt's crash.
+    suite_cache:
+        Shared ``machine_id -> measured result`` memo.  Re-dispatches
+        of the same machine (lease-expiry retries, speculative
+        duplicates) are deterministic repeats, so re-running the suite
+        would burn wall time to compute an identical report.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        fault_plan: FleetFaultPlan | None = None,
+        suite_cache: dict | None = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.fault_plan = fault_plan
+        self.suite_cache = suite_cache if suite_cache is not None else {}
+        self.draining = False
+        self.jobs_run = 0
+        self.crashes = 0
+        self._fault_rng = (
+            random.Random(stable_seed(fault_plan.seed, "worker", worker_id))
+            if fault_plan is not None
+            else None
+        )
+
+    # -- protocol ---------------------------------------------------------
+
+    def on_message(self, msg: Message, now: float) -> list[tuple[float, Message]]:
+        """Consume one frame; return (fire_time, frame) pairs to emit."""
+        if msg.recipient != self.worker_id:
+            raise FleetProtocolError(
+                f"worker {self.worker_id} received a frame addressed to "
+                f"{msg.recipient!r}"
+            )
+        if msg.type == JOB_DISPATCH:
+            return self._on_dispatch(msg.payload["job"], now)
+        if msg.type == NO_MORE_JOBS:
+            return []
+        if msg.type == DRAIN:
+            self.draining = True
+            return []
+        raise FleetProtocolError(
+            f"worker {self.worker_id} cannot handle {msg.type} frames"
+        )
+
+    def job_request(self, at: float) -> tuple[float, Message]:
+        """The worker's opening move (and its move after every job)."""
+        return (
+            at,
+            Message(
+                type=JOB_REQUEST,
+                sender=self.worker_id,
+                recipient=COORDINATOR,
+                time=at,
+            ),
+        )
+
+    # -- job execution ----------------------------------------------------
+
+    def _on_dispatch(self, job: dict, now: float) -> list[tuple[float, Message]]:
+        self.jobs_run += 1
+        heartbeat_seconds = float(job["heartbeat_seconds"])
+        expected = float(job["expected_seconds"])
+
+        crash, straggle = False, False
+        if self._fault_rng is not None:
+            crash = self._fault_rng.random() < self.fault_plan.crash_rate
+            straggle = self._fault_rng.random() < self.fault_plan.straggler_rate
+
+        if crash:
+            # The process dies mid-job: heartbeats stop, no RESULT ever
+            # arrives, and the coordinator's lease expiry does the rest.
+            # The suite is deliberately *not* run — a dead worker does
+            # no work, and skipping it keeps fault drills cheap.
+            self.crashes += 1
+            crash_at = now + (0.2 + 0.6 * self._fault_rng.random()) * expected
+            out = self._heartbeats(job, now, crash_at, heartbeat_seconds)
+            respawn_at = crash_at + self.fault_plan.respawn_seconds
+            out.append(self.job_request(respawn_at))
+            return out
+
+        try:
+            report_dict, fingerprint, virtual_seconds = self._measure(job)
+        except Exception as exc:  # surfaced to the coordinator, not raised
+            fail_at = now + 1.0
+            return [
+                (
+                    fail_at,
+                    Message(
+                        type=FAILURE,
+                        sender=self.worker_id,
+                        recipient=COORDINATOR,
+                        time=fail_at,
+                        payload={
+                            "job_id": job["job_id"],
+                            "machine_id": job["machine_id"],
+                            "error": f"{type(exc).__name__}: {exc}",
+                        },
+                    ),
+                ),
+                self.job_request(fail_at),
+            ]
+
+        duration = max(1.0, virtual_seconds)
+        if straggle:
+            duration *= self.fault_plan.straggle_factor
+
+        out = self._heartbeats(job, now, now + duration, heartbeat_seconds)
+        done_at = now + duration
+        out.append(
+            (
+                done_at,
+                Message(
+                    type=RESULT,
+                    sender=self.worker_id,
+                    recipient=COORDINATOR,
+                    time=done_at,
+                    payload={
+                        "job_id": job["job_id"],
+                        "machine_id": job["machine_id"],
+                        "report": report_dict,
+                        "fingerprint": fingerprint,
+                        "virtual_seconds": virtual_seconds,
+                    },
+                ),
+            )
+        )
+        out.append(self.job_request(done_at))
+        return out
+
+    def _heartbeats(
+        self, job: dict, start: float, until: float, interval: float
+    ) -> list[tuple[float, Message]]:
+        span = until - start
+        effective = max(interval, span / _MAX_HEARTBEATS_PER_JOB)
+        out: list[tuple[float, Message]] = []
+        t = start + effective
+        while t < until:
+            out.append(
+                (
+                    t,
+                    Message(
+                        type=HEARTBEAT,
+                        sender=self.worker_id,
+                        recipient=COORDINATOR,
+                        time=t,
+                        payload={
+                            "job_id": job["job_id"],
+                            "machine_id": job["machine_id"],
+                            "phase": "running",
+                        },
+                    ),
+                )
+            )
+            t += effective
+        return out
+
+    def _measure(self, job: dict) -> tuple[dict, dict, float]:
+        """Run (or recall) the suite for one machine.
+
+        Returns ``(report dict, fingerprint dict, virtual seconds)``.
+        The memo key is the machine id: within one survey a machine's
+        job parameters never change, so a repeat dispatch is by
+        construction the same measurement.
+        """
+        machine_id = str(job["machine_id"])
+        cached = self.suite_cache.get(machine_id)
+        if cached is None:
+            hardware = HardwareClass.from_dict(job["class"])
+            options = dict(job["options"])
+            backend = SimulatedBackend(
+                hardware.build(),
+                noise=float(job["noise"]),
+                seed=int(job["seed"]),
+            )
+            suite = ServetSuite(
+                backend,
+                node_cores=options.get("node_cores"),
+                comm_cores=options.get("comm_cores"),
+                probe_tlb=bool(options.get("probe_tlb", True)),
+                prune=str(options.get("prune", "off")),
+            )
+            report = suite.run(strict=False)
+            fingerprint = fingerprint_of(backend, options=options)
+            virtual = sum(v for v, _ in report.timings.values())
+            cached = (
+                report.to_dict(),
+                {"digest": fingerprint.digest, "inputs": fingerprint.inputs},
+                float(virtual),
+            )
+            self.suite_cache[machine_id] = cached
+        report_dict, fingerprint_dict, virtual = cached
+        report_dict = copy.deepcopy(report_dict)
+        if self.fault_plan is not None and machine_id in self.fault_plan.flaky_machines:
+            self._corrupt(report_dict)
+        return report_dict, copy.deepcopy(fingerprint_dict), virtual
+
+    @staticmethod
+    def _corrupt(report_dict: dict) -> None:
+        """What a machine with failing hardware hands back.
+
+        Negated cache sizes and a negative memory bandwidth: complete,
+        well-formed JSON that no real machine could produce — exactly
+        the shape the plausibility validators exist to catch.
+        """
+        for cache in report_dict.get("caches", []):
+            cache["size"] = -abs(int(cache["size"]))
+        report_dict["memory_reference"] = -1.0

@@ -33,12 +33,19 @@ def sha256_hex(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def atomic_write_text(path: str | Path, text: str) -> None:
+def atomic_write_text(path: str | Path, text: str, durable: bool = True) -> None:
     """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
 
     The temporary file lives in the target directory so the final
     rename stays on one filesystem; readers see either the complete old
     content or the complete new content, never a torn write.
+
+    With ``durable=True`` (the default) the temp file is fsync'd before
+    the rename and the parent directory after it, so the write also
+    survives *power loss*: without the first fsync the rename can land
+    on disk before the data (leaving a complete-looking file full of
+    zeros), and without the second the rename itself can be lost.
+    Registry versions, checkpoints, and fleet shards all rely on this.
     """
     path = Path(path)
     fd, tmp = tempfile.mkstemp(
@@ -47,10 +54,35 @@ def atomic_write_text(path: str | Path, text: str) -> None:
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp, path)
+        if durable:
+            fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp)
         except OSError:
             pass
         raise
+
+
+def fsync_dir(directory: str | Path) -> None:
+    """Flush a directory's entries to disk (no-op where unsupported).
+
+    Renames live in the directory, not the file: after ``os.replace``
+    the new name is only durable once the directory itself is synced.
+    Some platforms (Windows) cannot open directories — there the call
+    degrades to a no-op rather than failing the write.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)

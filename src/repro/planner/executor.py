@@ -30,12 +30,14 @@ report measurements issued versus measurements saved.
 
 from __future__ import annotations
 
+import time
+from collections import Counter as _Multiset
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from contextlib import nullcontext
 from collections.abc import Callable, Sequence
 
 from ..backends.base import Backend, ConcurrentLatency
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, MeasurementTimeout
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer
 from ..topology.machine import CorePair
@@ -78,6 +80,8 @@ class PlannerStats:
     #: verify_fallbacks — classes re-measured in full after divergence;
     #: pairwise_requested / pairwise_measured — asked-for vs reached-
     #: the-backend pairwise probes.
+    #: probe_timeouts — pooled probes abandoned because they exceeded
+    #: the per-future timeout (each is retried, then fails the plan).
     _COUNTERS = (
         "issued",
         "cache_hits",
@@ -86,6 +90,7 @@ class PlannerStats:
         "verify_fallbacks",
         "pairwise_requested",
         "pairwise_measured",
+        "probe_timeouts",
     )
 
     def __init__(self, registry: MetricsRegistry | None = None, **initial: int):
@@ -157,6 +162,21 @@ class PlanExecutor:
     metrics:
         Registry backing :attr:`stats` and the per-kind probe counters;
         a private registry is created when not given.
+    probe_timeout:
+        Wall seconds a *pooled* probe may run before it is abandoned
+        (None disables the guard).  A native measurement that wedges —
+        a stuck perf counter, a hung pinned process — would otherwise
+        stall the whole plan at the next dependency or shared-core
+        barrier.  On timeout the probe is recorded as failed
+        (``planner.probe_timeouts``, plus a ``timeouts`` incident on
+        backends that keep incident counters, so the suite marks the
+        phase degraded) and re-dispatched up to ``timeout_retries``
+        times before :class:`~repro.errors.MeasurementTimeout` aborts
+        the plan.  Serial (virtual-time) execution ignores it: those
+        backends cannot wedge, they only *simulate* hangs.
+    timeout_retries:
+        Fresh dispatch attempts granted to a timed-out probe before the
+        plan gives up on it.
     """
 
     def __init__(
@@ -168,6 +188,8 @@ class PlanExecutor:
         verify_tolerance: float = VERIFY_TOLERANCE,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        probe_timeout: float | None = None,
+        timeout_retries: int = 2,
     ) -> None:
         self.backend = backend
         self.prune = validate_prune_mode(prune)
@@ -187,6 +209,12 @@ class PlanExecutor:
         self.verify_tolerance = verify_tolerance
         self.tracer = tracer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if probe_timeout is not None and probe_timeout <= 0:
+            raise ConfigurationError("probe_timeout must be > 0 (or None)")
+        self.probe_timeout = probe_timeout
+        if timeout_retries < 0:
+            raise ConfigurationError("timeout_retries must be >= 0")
+        self.timeout_retries = timeout_retries
         self.stats = PlannerStats(registry=self.metrics)
         self._memo: dict[Probe, object] = {}
 
@@ -235,14 +263,41 @@ class PlanExecutor:
         Two probes may overlap only when their dependency edges allow it
         *and* their core sets are disjoint — concurrent measurements
         pinned to a common core would contend and corrupt each other.
+
+        With :attr:`probe_timeout` set, a future that produces no result
+        in time is *abandoned*: its probe is counted failed and
+        re-dispatched (up to :attr:`timeout_retries` times), so one
+        wedged measurement cannot stall the rest of the plan.  The hung
+        thread keeps its pool slot until it dies on its own; its cores
+        are released to the scheduler on the assumption that a wedged
+        probe is stuck in a syscall, not generating memory traffic.
         """
         remaining = list(steps)
-        busy: set[int] = set()
+        busy: _Multiset = _Multiset()
         # Workers run in their own context: capture the submitting
         # thread's span here so pooled probe spans nest correctly.
         parent_span = self.tracer.current_span_id if self.tracer else None
-        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+        abandoned_any = False
+        pool = ThreadPoolExecutor(max_workers=self.jobs)
+        try:
+            # future -> (probe, submitted-at monotonic time, attempt)
             futures: dict = {}
+
+            def submit(probe: Probe, attempt: int) -> None:
+                for core in probe_cores(probe):
+                    busy[core] += 1
+                futures[pool.submit(self._measure, probe, parent_span)] = (
+                    probe,
+                    time.monotonic(),
+                    attempt,
+                )
+
+            def release(probe: Probe) -> None:
+                for core in probe_cores(probe):
+                    busy[core] -= 1
+                    if not busy[core]:
+                        del busy[core]
+
             while remaining or futures:
                 launched = True
                 while launched and len(futures) < self.jobs and remaining:
@@ -250,13 +305,8 @@ class PlanExecutor:
                     for i, step in enumerate(remaining):
                         cores = set(probe_cores(step.probe))
                         deps_met = all(d in self._memo for d in step.after)
-                        if deps_met and not (cores & busy):
-                            busy |= cores
-                            futures[
-                                pool.submit(
-                                    self._measure, step.probe, parent_span
-                                )
-                            ] = step.probe
+                        if deps_met and not any(busy[c] for c in cores):
+                            submit(step.probe, attempt=0)
                             remaining.pop(i)
                             launched = True
                             break
@@ -266,12 +316,62 @@ class PlanExecutor:
                         f"plan cannot make progress (circular or missing "
                         f"dependencies): {stuck!r}"
                     )
-                finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+                timeout = None
+                if self.probe_timeout is not None:
+                    now = time.monotonic()
+                    timeout = max(
+                        0.0,
+                        min(
+                            submitted + self.probe_timeout - now
+                            for _, submitted, _ in futures.values()
+                        ),
+                    )
+                finished, _ = wait(
+                    futures, timeout=timeout, return_when=FIRST_COMPLETED
+                )
                 for future in finished:
-                    probe = futures.pop(future)
-                    busy -= set(probe_cores(probe))
+                    probe, _, _ = futures.pop(future)
+                    release(probe)
                     self._memo[probe] = future.result()
                     self.stats.issued += 1
+                if self.probe_timeout is None:
+                    continue
+                now = time.monotonic()
+                for future, (probe, submitted, attempt) in list(futures.items()):
+                    if now - submitted < self.probe_timeout:
+                        continue
+                    # Abandon the wedged future; its eventual result (if
+                    # any) is discarded.
+                    del futures[future]
+                    future.cancel()
+                    release(probe)
+                    abandoned_any = True
+                    self.stats.probe_timeouts += 1
+                    self._note_timeout_incident()
+                    if attempt >= self.timeout_retries:
+                        raise MeasurementTimeout(
+                            f"probe {probe_id(probe)} produced no result "
+                            f"within {self.probe_timeout:g}s in "
+                            f"{attempt + 1} attempt(s)",
+                            waited=self.probe_timeout * (attempt + 1),
+                        )
+                    submit(probe, attempt=attempt + 1)
+        finally:
+            # Never block shutdown on a thread we already gave up on.
+            pool.shutdown(wait=not abandoned_any, cancel_futures=True)
+
+    def _note_timeout_incident(self) -> None:
+        """Count a pooled-probe timeout as a resilience incident.
+
+        When the backend is wrapped in
+        :class:`~repro.resilience.HardenedBackend` this feeds the same
+        ``timeouts`` counter its own retry path uses, so the suite marks
+        the phase ``degraded`` — the timed-out probe *was* recovered
+        from, not silently absorbed.
+        """
+        incidents = getattr(self.backend, "incidents", None)
+        if isinstance(incidents, dict) and "timeouts" in incidents:
+            incidents["timeouts"] += 1
 
     def _measure(self, probe: Probe, parent_span: str | None = None):
         self._issue_counter(probe).inc()

@@ -34,6 +34,7 @@ from collections.abc import Callable
 from ..core.report import ServetReport
 from ..errors import RegistryError
 from ..ioutils import atomic_write_text, canonical_json, sha256_hex
+from ..obs.metrics import MetricsRegistry
 from .fingerprint import REPORT_SCHEMA_VERSION, MachineFingerprint
 
 #: Width of the zero-padded version number in file names.
@@ -130,11 +131,23 @@ class ReportRegistry:
         Source of the human-facing ``created`` timestamps (injectable
         so tests stay deterministic).  Ordering never relies on it —
         "latest" is decided by the monotonic ``sequence`` counter.
+    metrics:
+        Metrics registry for quarantine accounting.  Every file the
+        registry quarantines increments ``registry.quarantine_events``
+        (labelled with the digest), so corruption shows up in exported
+        metrics instead of only in the ``get`` error detail.  A private
+        registry is created when not given.
     """
 
-    def __init__(self, root: str | Path, clock: Callable[[], float] = time.time) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        clock: Callable[[], float] = time.time,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.root = Path(root)
         self._clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # -- write side ---------------------------------------------------------
 
@@ -341,6 +354,24 @@ class ReportRegistry:
         except OSError:
             return
         quarantined.append(target.name)
+        self.metrics.counter(
+            "registry.quarantine_events", digest=path.parent.name[:12]
+        ).inc()
+
+    def quarantined_counts(self) -> dict[str, int]:
+        """Quarantined files on disk, per digest (empty digests omitted).
+
+        Counts what is *currently* sitting in quarantine — evidence from
+        this or any earlier process — whereas the
+        ``registry.quarantine_events`` counter counts what this registry
+        instance quarantined itself.
+        """
+        counts: dict[str, int] = {}
+        for digest_dir in self._digest_dirs():
+            n = len(list(digest_dir.glob("*.quarantined")))
+            if n:
+                counts[digest_dir.name] = n
+        return counts
 
     def _entry_from_envelope(
         self, digest: str, path: Path, envelope: dict

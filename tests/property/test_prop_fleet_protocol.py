@@ -1,0 +1,109 @@
+"""Properties of the fleet message protocol: round-trip fidelity and
+payload-contract enforcement."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FleetProtocolError
+from repro.fleet import MESSAGE_TYPES, Message
+from repro.fleet.protocol import REQUIRED_PAYLOAD
+
+# JSON-clean payload values: what a real frame can carry.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**53), 2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+_values = st.recursive(
+    _scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    ),
+    max_leaves=10,
+)
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+
+
+@st.composite
+def messages(draw):
+    msg_type = draw(st.sampled_from(MESSAGE_TYPES))
+    payload = {
+        key: draw(_values) for key in REQUIRED_PAYLOAD[msg_type]
+    }
+    payload.update(
+        draw(st.dictionaries(st.text(max_size=8), _values, max_size=3))
+    )
+    return Message(
+        type=msg_type,
+        sender=draw(_names),
+        recipient=draw(_names),
+        seq=draw(st.integers(0, 2**31)),
+        time=draw(st.floats(0.0, 1e9, allow_nan=False)),
+        payload=payload,
+    )
+
+
+@given(messages())
+@settings(max_examples=120, deadline=None)
+def test_encode_decode_roundtrip(msg):
+    assert Message.decode(msg.encode()) == msg
+
+
+@given(messages())
+@settings(max_examples=120, deadline=None)
+def test_encoding_is_canonical_and_stable(msg):
+    wire = msg.encode()
+    # Canonical form: re-encoding the decoded frame is byte-identical.
+    assert Message.decode(wire).encode() == wire
+    # And the wire is plain JSON with exactly the frame fields.
+    data = json.loads(wire)
+    assert set(data) == {"type", "sender", "recipient", "seq", "time", "payload"}
+
+
+@given(messages())
+@settings(max_examples=120, deadline=None)
+def test_stripping_any_required_field_is_rejected(msg):
+    for key in REQUIRED_PAYLOAD[msg.type]:
+        data = msg.to_dict()
+        data["payload"] = {
+            k: v for k, v in data["payload"].items() if k != key
+        }
+        with pytest.raises(FleetProtocolError):
+            Message.decode(json.dumps(data))
+
+
+@given(messages(), st.text(max_size=12))
+@settings(max_examples=120, deadline=None)
+def test_retyping_to_unknown_type_is_rejected(msg, bogus_type):
+    if bogus_type in MESSAGE_TYPES:
+        return
+    data = msg.to_dict()
+    data["type"] = bogus_type
+    with pytest.raises(FleetProtocolError):
+        Message.decode(json.dumps(data))
+
+
+@given(messages())
+@settings(max_examples=60, deadline=None)
+def test_decode_never_accepts_truncated_frames(msg):
+    wire = msg.encode()
+    for cut in (1, len(wire) // 2, len(wire) - 1):
+        truncated = wire[:cut]
+        try:
+            decoded = Message.decode(truncated)
+        except FleetProtocolError:
+            continue
+        # JSON prefixes are almost never valid; if one is (e.g. a frame
+        # whose prefix happens to parse), it must still be a full frame.
+        assert decoded == msg

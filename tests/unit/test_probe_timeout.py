@@ -1,0 +1,126 @@
+"""Per-future timeouts in the planner's worker pool.
+
+A wedged native probe (stuck perf counter, hung pinned process) must
+not stall the whole measurement plan: the executor abandons the
+future, counts the timeout, retries the probe, and only aborts the
+plan after ``timeout_retries`` fresh attempts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.backends.base import Backend, ConcurrentLatency
+from repro.errors import ConfigurationError, MeasurementTimeout
+from repro.planner import MeasurementPlan, MessageProbe, PlanExecutor
+
+
+class HangingBackend(Backend):
+    """Wall-clock backend whose first ``hang_times`` latency calls wedge."""
+
+    wall_clock_bound = True
+
+    def __init__(self, n_cores: int = 4, hang_times: int = 1,
+                 hang_seconds: float = 5.0) -> None:
+        self.name = "hanging"
+        self.n_cores = n_cores
+        self.page_size = 4096
+        self.hang_seconds = hang_seconds
+        self._hangs_left = hang_times
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    def traversal_cycles(self, arrays, stride):
+        return {core: 10.0 for core, _ in arrays}
+
+    def copy_bandwidth(self, cores):
+        return {core: 1e9 for core in cores}
+
+    def message_latency(self, core_a, core_b, nbytes):
+        with self._lock:
+            self.calls += 1
+            hang = self._hangs_left > 0
+            if hang:
+                self._hangs_left -= 1
+        if hang:
+            time.sleep(self.hang_seconds)
+        return 1e-6 * nbytes
+
+    def concurrent_message_latency(self, pairs, nbytes):
+        lat = 1e-6 * nbytes * len(pairs)
+        return ConcurrentLatency(mean=lat, worst=1.5 * lat)
+
+
+def _latency_plan(pairs):
+    plan = MeasurementPlan()
+    for pair in pairs:
+        plan.add(MessageProbe(pair=pair, nbytes=256))
+    return plan
+
+
+def test_hung_probe_is_abandoned_and_retried():
+    backend = HangingBackend(hang_times=1, hang_seconds=5.0)
+    executor = PlanExecutor(backend, jobs=2, probe_timeout=0.2,
+                            timeout_retries=2)
+    start = time.monotonic()
+    results = executor.execute(_latency_plan([(0, 1), (2, 3)]))
+    elapsed = time.monotonic() - start
+    assert len(results) == 2
+    assert results[MessageProbe(pair=(0, 1), nbytes=256)] == pytest.approx(256e-6)
+    assert executor.stats.probe_timeouts == 1
+    # The plan never waited out the 5 s hang.
+    assert elapsed < backend.hang_seconds
+    # One retry: the hanging call plus its re-dispatch plus the clean probe.
+    assert backend.calls == 3
+
+
+def test_exhausted_retries_abort_the_plan():
+    # Every call hangs, so retries cannot save the plan.  (Single-probe
+    # plans run serially; the pool — and thus the guard — needs >= 2.)
+    backend = HangingBackend(hang_times=10, hang_seconds=5.0)
+    executor = PlanExecutor(backend, jobs=2, probe_timeout=0.1,
+                            timeout_retries=1)
+    with pytest.raises(MeasurementTimeout, match="no result"):
+        executor.execute(_latency_plan([(0, 1), (2, 3)]))
+    assert executor.stats.probe_timeouts >= 2
+
+
+def test_timeout_counts_metric_and_incident():
+    backend = HangingBackend(hang_times=1, hang_seconds=5.0)
+    backend.incidents = {"timeouts": 0, "retries": 0}
+    executor = PlanExecutor(backend, jobs=2, probe_timeout=0.2,
+                            timeout_retries=2)
+    executor.execute(_latency_plan([(0, 1), (2, 3)]))
+    assert executor.metrics.value("counter", "planner.probe_timeouts") == 1
+    # The resilience incident channel saw the timeout too, so the suite
+    # will mark the phase degraded rather than silently absorbing it.
+    assert backend.incidents["timeouts"] == 1
+
+
+def test_no_timeout_guard_means_no_accounting():
+    backend = HangingBackend(hang_times=0)
+    executor = PlanExecutor(backend, jobs=2)
+    results = executor.execute(_latency_plan([(0, 1), (2, 3)]))
+    assert len(results) == 2
+    assert executor.stats.probe_timeouts == 0
+
+
+def test_core_accounting_survives_abandonment():
+    # The abandoned probe's cores must be released, or the retry (same
+    # cores) could never be scheduled and the plan would stall.
+    backend = HangingBackend(hang_times=1, hang_seconds=5.0)
+    executor = PlanExecutor(backend, jobs=4, probe_timeout=0.2,
+                            timeout_retries=3)
+    results = executor.execute(_latency_plan([(0, 1), (0, 2), (1, 3)]))
+    assert len(results) == 3
+    assert executor.stats.probe_timeouts >= 1
+
+
+def test_probe_timeout_validation():
+    with pytest.raises(ConfigurationError):
+        PlanExecutor(HangingBackend(), probe_timeout=0.0)
+    with pytest.raises(ConfigurationError):
+        PlanExecutor(HangingBackend(), timeout_retries=-1)

@@ -156,3 +156,36 @@ def test_fingerprint_inputs_roundtrip(registry, small_report):
     report, fp = small_report
     registry.put(fp, report)
     assert registry.fingerprint_inputs(fp.digest[:10]) == fp.inputs
+
+
+def test_quarantine_increments_metrics_counter(small_report, tmp_path):
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    registry = ReportRegistry(
+        tmp_path / "metered", clock=lambda: 1700000000.0, metrics=metrics
+    )
+    report, fp = small_report
+    registry.put(fp, report)
+    entry = registry.put(fp, report)
+    entry.path.write_text("{not json")
+    registry.get(fp.digest)  # quarantines the corrupt v2
+
+    digest12 = fp.digest[:12]
+    assert (
+        metrics.value(
+            "counter", "registry.quarantine_events", digest=digest12
+        )
+        == 1
+    )
+
+
+def test_quarantined_counts_reflect_disk_state(registry, small_report):
+    report, fp = small_report
+    assert registry.quarantined_counts() == {}
+    registry.put(fp, report)
+    for entry in (registry.put(fp, report), registry.put(fp, report)):
+        entry.path.write_text("garbage")
+    registry.get(fp.digest)  # walks v3, v2 (both quarantined) down to v1
+    counts = registry.quarantined_counts()
+    assert counts == {fp.digest: 2}
