@@ -109,29 +109,49 @@ def instrument_backend(backend: Backend, tracer=None, metrics=None) -> Backend:
     Re-instrumenting an already-instrumented backend only swaps the
     sinks (tracer/metrics), so a backend reused across suite runs
     reports to the run that is currently driving it.
+
+    Backends exposing a ``bind_metrics(metrics)`` hook (directly or via
+    a delegating resilience wrapper) are handed the registry so they
+    can export internal counters — e.g. the simulated backend's
+    traversal outcome cache hits/misses.  Counter and histogram objects
+    are resolved here, once, not per call: the wrapper sits on the
+    hottest path in the suite and must not pay a registry lookup per
+    probe.
     """
-    backend._obs_sinks = (tracer, metrics)
+    if metrics is not None:
+        call_counters = {
+            m: metrics.counter("backend.calls", method=m)
+            for m in MEASUREMENT_METHODS
+        }
+        call_histograms = {
+            m: metrics.histogram("backend.call_virtual_seconds", method=m)
+            for m in MEASUREMENT_METHODS
+        }
+        bind = getattr(backend, "bind_metrics", None)
+        if bind is not None:
+            bind(metrics)
+    else:
+        call_counters = call_histograms = None
+    backend._obs_sinks = (tracer, call_counters, call_histograms)
     if getattr(backend, "_obs_instrumented", False):
         return backend
     for method_name in MEASUREMENT_METHODS:
         original = getattr(backend, method_name)
 
         def wrapper(*args, _original=original, _name=method_name, **kwargs):
-            sink_tracer, sink_metrics = backend._obs_sinks
-            if sink_metrics is not None:
-                sink_metrics.counter("backend.calls", method=_name).inc()
+            sink_tracer, counters, histograms = backend._obs_sinks
+            if counters is not None:
+                counters[_name].inc()
             before = getattr(backend, "virtual_time", 0.0)
             if sink_tracer is None:
                 result = _original(*args, **kwargs)
             else:
                 with sink_tracer.span(f"backend.{_name}"):
                     result = _original(*args, **kwargs)
-            if sink_metrics is not None:
+            if histograms is not None:
                 elapsed = getattr(backend, "virtual_time", 0.0) - before
                 if elapsed > 0:
-                    sink_metrics.histogram(
-                        "backend.call_virtual_seconds", method=_name
-                    ).observe(elapsed)
+                    histograms[_name].observe(elapsed)
             return result
 
         setattr(backend, method_name, wrapper)

@@ -15,6 +15,8 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..errors import MeasurementError
+from ..ioutils import sha256_hex
+from ..memsim.outcome import GLOBAL_COMM_CACHE, GLOBAL_OUTCOME_CACHE
 from ..memsim.paging import PagePolicy, RandomPaging
 from ..memsim.prefetch import PrefetchModel
 from ..memsim.stream import stream_copy_bandwidth
@@ -68,6 +70,13 @@ class SimulatedBackend(Backend):
         (0 disables noise).
     seed:
         RNG seed for noise and page placement.
+    sim_cache:
+        When True (default) the traversal engine answers repeated
+        simulations from the process-wide outcome cache; False is the
+        hard bypass (every probe re-simulates).  Semantically
+        transparent either way — cached results are byte-identical —
+        but the knob keeps baselines honest and is recorded in the
+        suite checkpoint fingerprint.
     """
 
     def __init__(
@@ -79,6 +88,7 @@ class SimulatedBackend(Backend):
         noise: float = 0.01,
         seed: int | None = None,
         costs: MeasurementCosts | None = None,
+        sim_cache: bool = True,
     ) -> None:
         if isinstance(system, Machine):
             system = Cluster(system.name, system, n_nodes=1)
@@ -92,6 +102,7 @@ class SimulatedBackend(Backend):
             self.machine,
             paging=paging if paging is not None else RandomPaging(),
             prefetch=prefetch,
+            outcome_cache=GLOBAL_OUTCOME_CACHE if sim_cache else None,
         )
         if noise < 0:
             raise MeasurementError("noise must be >= 0")
@@ -102,6 +113,34 @@ class SimulatedBackend(Backend):
         self.n_cores = system.n_cores
         self.page_size = self.machine.page_size
         self.virtual_time = 0.0
+        # The communication substrate is RNG-free: a ping-pong or
+        # concurrent exchange is a pure function of this token plus the
+        # probe parameters, so repeats skip the event loop entirely.
+        self._comm_token = sha256_hex(
+            f"{self.cluster!r}|{self.comm_config.canonical()}"
+        )
+        self._comm_cache = GLOBAL_COMM_CACHE if sim_cache else None
+        self._comm_hits = None
+        self._comm_misses = None
+
+    # -- outcome cache ------------------------------------------------------
+
+    @property
+    def sim_cache(self) -> bool:
+        """Whether the traversal engine consults the outcome cache."""
+        return self.engine.outcome_cache is not None
+
+    def set_sim_cache(self, enabled: bool) -> None:
+        """Toggle the outcome caches (the ``--no-sim-cache`` knob)."""
+        self.engine.outcome_cache = GLOBAL_OUTCOME_CACHE if enabled else None
+        self._comm_cache = GLOBAL_COMM_CACHE if enabled else None
+
+    def bind_metrics(self, metrics) -> None:
+        """Export cache counters through ``metrics`` (see
+        :func:`repro.backends.base.instrument_backend`)."""
+        self.engine.bind_metrics(metrics)
+        self._comm_hits = metrics.counter("simmpi.comm.hits")
+        self._comm_misses = metrics.counter("simmpi.comm.misses")
 
     # -- noise -------------------------------------------------------------
 
@@ -165,9 +204,21 @@ class SimulatedBackend(Backend):
         return {local[lc]: self._noisy(v) for lc, v in bw.items()}
 
     def message_latency(self, core_a: int, core_b: int, nbytes: int) -> float:
-        latency = pingpong_latency(
-            self.cluster, self.comm_config, core_a, core_b, nbytes, repetitions=4
-        )
+        cache, key = self._comm_cache, None
+        latency = None
+        if cache is not None:
+            key = (self._comm_token, "pingpong", core_a, core_b, nbytes)
+            latency = cache.get(key)
+            counter = self._comm_misses if latency is None else self._comm_hits
+            if counter is not None:
+                counter.inc()
+        if latency is None:
+            latency = pingpong_latency(
+                self.cluster, self.comm_config, core_a, core_b, nbytes,
+                repetitions=4,
+            )
+            if key is not None:
+                cache.put(key, latency)
         self.charge(
             self.costs.message_setup
             + 2 * self.costs.message_repetitions * latency
@@ -177,11 +228,23 @@ class SimulatedBackend(Backend):
     def concurrent_message_latency(
         self, pairs: Sequence[CorePair], nbytes: int
     ) -> ConcurrentLatency:
-        result = concurrent_exchanges(self.cluster, self.comm_config, pairs, nbytes)
+        cache, key = self._comm_cache, None
+        cached = None
+        if cache is not None:
+            key = (self._comm_token, "concurrent", tuple(pairs), nbytes)
+            cached = cache.get(key)
+            counter = self._comm_misses if cached is None else self._comm_hits
+            if counter is not None:
+                counter.inc()
+        if cached is None:
+            result = concurrent_exchanges(
+                self.cluster, self.comm_config, pairs, nbytes
+            )
+            cached = (result.mean, result.worst)
+            if key is not None:
+                cache.put(key, cached)
+        mean, worst = cached
         self.charge(
-            self.costs.message_setup
-            + self.costs.message_repetitions * result.worst
+            self.costs.message_setup + self.costs.message_repetitions * worst
         )
-        return ConcurrentLatency(
-            mean=self._noisy(result.mean), worst=self._noisy(result.worst)
-        )
+        return ConcurrentLatency(mean=self._noisy(mean), worst=self._noisy(worst))

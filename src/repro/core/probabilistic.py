@@ -16,6 +16,7 @@ lowest-divergence entries — exactly the Fig. 3 pseudo-code.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 from scipy import stats
@@ -87,8 +88,25 @@ def predicted_miss_rate(
     """
     n_pages = np.asarray(n_pages, dtype=np.float64)
     if size_biased:
-        return stats.binom.sf(ways - 1, np.maximum(n_pages - 1, 0), p)
-    return stats.binom.sf(ways, n_pages, p)
+        return _binom_sf_shared(
+            ways - 1, np.maximum(n_pages - 1, 0).tobytes(), len(n_pages), float(p)
+        )
+    return _binom_sf_shared(ways, n_pages.tobytes(), len(n_pages), float(p))
+
+
+@lru_cache(maxsize=4096)
+def _binom_sf_shared(k: int, n_bytes: bytes, n_len: int, p: float) -> np.ndarray:
+    """Memoized, read-only ``binom.sf`` tail over a page-count vector.
+
+    The detection loop evaluates the same (window, ways, p) triple for
+    every candidate revisit — and warm re-runs repeat all of them — so
+    the scipy call (the priciest pure-python piece of detection) is
+    keyed on the raw vector bytes and shared.
+    """
+    n = np.frombuffer(n_bytes, dtype=np.float64, count=n_len)
+    out = stats.binom.sf(k, n, p)
+    out.setflags(write=False)
+    return out
 
 
 def _affine_divergence(

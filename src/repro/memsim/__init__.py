@@ -9,6 +9,13 @@ allocator over the machine's bandwidth-domain tree.
 """
 
 from .cache import SetAssociativeCache, MultiLevelSimulator, TraceAccess
+from .outcome import (
+    GLOBAL_COMM_CACHE,
+    GLOBAL_OUTCOME_CACHE,
+    TraversalOutcomeCache,
+    clear_global_cache,
+    stream_identity,
+)
 from .paging import (
     PagePolicy,
     RandomPaging,
@@ -34,6 +41,11 @@ from .matmul import (
 from .stream import stream_copy_bandwidth
 
 __all__ = [
+    "GLOBAL_COMM_CACHE",
+    "GLOBAL_OUTCOME_CACHE",
+    "TraversalOutcomeCache",
+    "clear_global_cache",
+    "stream_identity",
     "SetAssociativeCache",
     "MultiLevelSimulator",
     "TraceAccess",

@@ -1,0 +1,165 @@
+"""Traversal outcome cache: compute each distinct simulation once.
+
+The suite issues thousands of traversal probes per run, and fleet
+surveys multiply that by hundreds of machines — yet the simulated
+substrate is fully deterministic: a traversal's steady-state outcome is
+a pure function of the machine model, the traversal workloads, the
+paging policy, the prefetcher, and the RNG stream that draws the page
+placement.  This module keys whole :meth:`TraversalEngine.run` results
+on a canonical fingerprint of exactly those inputs so any *repeat* of
+the same simulation — a golden re-run, a fleet worker surveying a
+duplicate hardware class, a cached-vs-bypass bench, a resumed suite —
+is answered from memory instead of re-simulated.
+
+Why the RNG stream is part of the key
+-------------------------------------
+Two calls with identical geometry are *not* the same measurement: each
+``run`` draws fresh page placements from child streams spawned off the
+caller's generator, and repeat-sampling exists precisely to average
+over those placements.  The stream identity — the generator's seed
+entropy, spawn path, and the number of children already spawned — pins
+*which* placements a call would draw, so a cache hit returns the exact
+result a fresh simulation would have produced, bit for bit.  A
+generator whose stream cannot be identified (no inspectable seed
+sequence) bypasses the cache rather than risking a wrong answer.
+
+Side-effect fidelity
+--------------------
+A miss consumes ``len(traversals)`` spawn keys from the caller's
+generator; a hit consumes the same keys (without building the child
+generators) so cached and uncached runs leave the RNG in identical
+states and later calls key identically either way.
+
+Composition with the planner memo
+---------------------------------
+The :class:`~repro.planner.executor.PlanExecutor` memoizes at probe
+granularity; probes answered there never reach the backend, so they are
+invisible to this cache.  Counters therefore never double count: for a
+suite run, ``planner.cache_hits`` counts probes that skipped the
+backend and ``memsim.outcome.hits + memsim.outcome.misses`` equals the
+traversal calls that reached the engine.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+#: Default bound on cached outcomes.  One full unpruned suite run on a
+#: 24-core machine produces ~3k distinct outcomes; the default keeps a
+#: comfortable multiple of that while bounding memory (an outcome is a
+#: few hundred bytes).
+DEFAULT_MAX_ENTRIES: int = 65536
+
+
+def stream_identity(rng: np.random.Generator) -> tuple | None:
+    """Canonical identity of the stream ``rng`` would spawn children from.
+
+    Returns ``(entropy, spawn_key, n_children_spawned, pool_size)`` of
+    the generator's seed sequence, or ``None`` when the generator
+    carries no inspectable :class:`numpy.random.SeedSequence` (then the
+    placement draws cannot be predicted and caching must be bypassed).
+    """
+    try:
+        seed_seq = rng.bit_generator.seed_seq
+    except AttributeError:
+        return None
+    entropy = getattr(seed_seq, "entropy", None)
+    if entropy is None:
+        return None
+    if isinstance(entropy, (list, tuple)):
+        entropy = tuple(int(e) for e in entropy)
+    else:
+        entropy = int(entropy)
+    return (
+        entropy,
+        tuple(int(k) for k in seed_seq.spawn_key),
+        int(seed_seq.n_children_spawned),
+        int(seed_seq.pool_size),
+    )
+
+
+class TraversalOutcomeCache:
+    """A bounded, thread-safe LRU map of traversal fingerprints to results.
+
+    Values are stored through :meth:`put` and returned by :meth:`get`
+    exactly as given — the :class:`~repro.memsim.traversal.
+    TraversalEngine` is responsible for copying mutable results so a
+    caller can never corrupt a cached entry.
+
+    ``hits``/``misses`` count every lookup (a bypassed *engine* never
+    consults the cache, so bypassed runs contribute to neither).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple):
+        """The cached outcome for ``key``, or None (counts hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: tuple, value) -> None:
+        """Insert an outcome, evicting the least recently used if full."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of ``{hits, misses, entries}``."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+            }
+
+
+#: Process-wide default cache.  Shared deliberately: the whole point is
+#: that a second backend simulating the same machine with the same seed
+#: (golden re-runs, fleet duplicates, cached-vs-bypass benches) reuses
+#: the first one's outcomes.  Hard bypass = construct the engine (or
+#: backend) with ``outcome_cache=None`` / ``sim_cache=False``.
+GLOBAL_OUTCOME_CACHE = TraversalOutcomeCache()
+
+#: Companion cache for the discrete-event communication substrate.
+#: Ping-pong and concurrent-exchange simulations involve no RNG at all
+#: — they are pure functions of (cluster, comm config, pairs, message
+#: size) — so their keying needs no stream identity; the same bounded
+#: LRU structure serves.  Kept separate from the traversal cache so the
+#: "traversal hits + misses == traversal probes issued" accounting
+#: invariant stays exact.
+GLOBAL_COMM_CACHE = TraversalOutcomeCache()
+
+
+def clear_global_cache() -> None:
+    """Reset the process-wide caches (benches and tests)."""
+    GLOBAL_OUTCOME_CACHE.clear()
+    GLOBAL_COMM_CACHE.clear()

@@ -21,6 +21,8 @@ the two alternatives the paper discusses:
 from __future__ import annotations
 
 import abc
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
@@ -30,6 +32,13 @@ from ..units import is_power_of_two
 
 class PagePolicy(abc.ABC):
     """Strategy mapping virtual page numbers to physical page numbers."""
+
+    #: True when :meth:`place` is guaranteed (by construction, not by
+    #: luck) to return distinct physical pages.  The built-in policies
+    #: all qualify, so :class:`AddressSpace` skips its duplicate-frame
+    #: check for them; user-supplied policies default to False and stay
+    #: checked.
+    guarantees_distinct_frames: bool = False
 
     #: Total number of physical pages available for placement.
     def __init__(self, physical_pages: int = 1 << 20) -> None:
@@ -45,6 +54,17 @@ class PagePolicy(abc.ABC):
         (an OS never double-maps a private anonymous region).
         """
 
+    def cache_token(self) -> tuple | None:
+        """Hashable value identity for placement caching, or None.
+
+        Two policies with equal tokens must produce identical
+        placements from identical RNG streams.  ``None`` (the default
+        for user-defined policies) opts out of both the page-table
+        cache and the traversal outcome cache — a custom policy may be
+        stateful, so memoizing its output would be unsound.
+        """
+        return None
+
     def _check(self, n_pages: int) -> None:
         if n_pages <= 0:
             raise SimulationError("an allocation needs at least one page")
@@ -58,12 +78,17 @@ class PagePolicy(abc.ABC):
 class RandomPaging(PagePolicy):
     """Uniformly random distinct physical pages (no page coloring)."""
 
+    guarantees_distinct_frames = True
+
     def place(self, n_pages: int, rng: np.random.Generator) -> np.ndarray:
         self._check(n_pages)
         # Floyd-like sampling via choice without replacement; for the
         # page counts used here (<= a few thousand out of ~1M) this is
         # both uniform and fast.
         return rng.choice(self.physical_pages, size=n_pages, replace=False)
+
+    def cache_token(self) -> tuple:
+        return ("random", self.physical_pages)
 
 
 class ColoredPaging(PagePolicy):
@@ -76,6 +101,8 @@ class ColoredPaging(PagePolicy):
     physically indexed cache of at most ``n_colors`` page sets per way.
     """
 
+    guarantees_distinct_frames = True
+
     def __init__(self, n_colors: int, physical_pages: int = 1 << 20) -> None:
         super().__init__(physical_pages)
         if n_colors <= 0 or physical_pages % n_colors != 0:
@@ -83,6 +110,9 @@ class ColoredPaging(PagePolicy):
                 f"n_colors={n_colors} must be positive and divide physical_pages"
             )
         self.n_colors = n_colors
+
+    def cache_token(self) -> tuple:
+        return ("colored", self.n_colors, self.physical_pages)
 
     def place(self, n_pages: int, rng: np.random.Generator) -> np.ndarray:
         self._check(n_pages)
@@ -104,10 +134,32 @@ class ColoredPaging(PagePolicy):
 class ContiguousPaging(PagePolicy):
     """Physically contiguous placement starting at a random base frame."""
 
+    guarantees_distinct_frames = True
+
     def place(self, n_pages: int, rng: np.random.Generator) -> np.ndarray:
         self._check(n_pages)
         base = int(rng.integers(0, self.physical_pages - n_pages + 1))
         return base + np.arange(n_pages)
+
+    def cache_token(self) -> tuple:
+        return ("contiguous", self.physical_pages)
+
+
+def _has_duplicates(frames: np.ndarray) -> bool:
+    """O(n) duplicate test for small non-negative frame vectors.
+
+    ``np.unique`` sorts (and was the single most expensive operation of
+    the whole simulator, profiled); a bincount over the frame values
+    present answers the same question in one linear pass.  Falls back
+    to a set for frame spaces too large to bincount densely.
+    """
+    if frames.size < 2:
+        return False
+    lo = int(frames.min())
+    hi = int(frames.max())
+    if hi - lo + 1 <= max(4 * frames.size, 4096):
+        return bool(np.bincount(frames - lo).max() > 1)
+    return len(set(frames.tolist())) != frames.size
 
 
 class AddressSpace:
@@ -115,6 +167,12 @@ class AddressSpace:
 
     Translates virtual byte addresses of a single contiguous allocation
     (based at virtual address 0) to physical line numbers.
+
+    ``validate`` controls the duplicate-frame check on the policy's
+    placement.  The built-in policies cannot produce duplicates by
+    construction (:attr:`PagePolicy.guarantees_distinct_frames`), so
+    the check defaults to running only for user-supplied policies;
+    pass ``validate=True`` to force it (debugging a policy).
     """
 
     def __init__(
@@ -123,6 +181,7 @@ class AddressSpace:
         policy: PagePolicy,
         array_bytes: int,
         rng: np.random.Generator,
+        validate: bool | None = None,
     ) -> None:
         if not is_power_of_two(page_size):
             raise ConfigurationError(f"page size {page_size} not a power of two")
@@ -132,8 +191,66 @@ class AddressSpace:
         self.array_bytes = array_bytes
         n_pages = -(-array_bytes // page_size)  # ceil
         self.page_table = np.asarray(policy.place(n_pages, rng), dtype=np.int64)
-        if len(np.unique(self.page_table)) != n_pages:
+        if validate is None:
+            validate = not policy.guarantees_distinct_frames
+        if validate and _has_duplicates(self.page_table):
             raise SimulationError("page policy produced duplicate physical pages")
+
+    #: Bound on distinct shared page tables kept alive process-wide.
+    SHARED_MAX_ENTRIES = 8192
+
+    _shared: OrderedDict[tuple, "AddressSpace"] = OrderedDict()
+    _shared_lock = threading.Lock()
+
+    @classmethod
+    def shared(
+        cls,
+        page_size: int,
+        policy: PagePolicy,
+        array_bytes: int,
+        rng: np.random.Generator,
+    ) -> "AddressSpace":
+        """A process-wide shared space for ``(policy, array_bytes, stream)``.
+
+        The placement a policy draws is a pure function of its
+        :meth:`~PagePolicy.cache_token` and the identity of the stream
+        ``rng`` — so two calls with equal tokens and equal stream
+        identities would build byte-identical page tables.  This
+        constructor answers such repeats from a bounded LRU instead of
+        re-drawing.  On a hit the ``rng`` is *not* consumed; callers
+        must therefore pass a dedicated child generator they would
+        discard anyway (as :meth:`TraversalEngine.run` does).  Policies
+        whose token is ``None`` and generators without an inspectable
+        seed sequence fall back to a fresh private construction.
+
+        Shared instances have a read-only ``page_table``.
+        """
+        from .outcome import stream_identity
+
+        token = policy.cache_token()
+        identity = stream_identity(rng) if token is not None else None
+        if identity is None:
+            return cls(page_size, policy, array_bytes, rng)
+        key = (token, page_size, array_bytes, identity)
+        with cls._shared_lock:
+            space = cls._shared.get(key)
+            if space is not None:
+                cls._shared.move_to_end(key)
+                return space
+        space = cls(page_size, policy, array_bytes, rng)
+        space.page_table.setflags(write=False)
+        with cls._shared_lock:
+            cls._shared[key] = space
+            cls._shared.move_to_end(key)
+            while len(cls._shared) > cls.SHARED_MAX_ENTRIES:
+                cls._shared.popitem(last=False)
+        return space
+
+    @classmethod
+    def clear_shared(cls) -> None:
+        """Drop the shared page-table cache (tests and benches)."""
+        with cls._shared_lock:
+            cls._shared.clear()
 
     @property
     def n_pages(self) -> int:

@@ -18,6 +18,14 @@ Concurrency is modelled as lockstep interleaving (the paper runs the
 mcalibrator instances "in parallel" pinned to two cores): for a shared
 cache instance the per-set load is the union of the members' active
 lines.
+
+Everything the engine computes is a pure function of (machine, paging
+policy, prefetcher, traversal workloads, RNG stream), so repeats are
+served from the :mod:`~repro.memsim.outcome` cache instead of being
+re-simulated; cache-miss work itself reuses shared
+:class:`~repro.memsim.paging.AddressSpace` page tables and memoized
+line/set-index geometry so even a cold run never derives the same
+vector twice.
 """
 
 from __future__ import annotations
@@ -28,11 +36,14 @@ from functools import lru_cache
 import numpy as np
 
 from ..errors import MeasurementError
+from ..ioutils import sha256_hex
 from ..rng import ensure_rng, spawn
 from ..topology.cache import Indexing
 from ..topology.machine import Machine
+from .outcome import GLOBAL_OUTCOME_CACHE, TraversalOutcomeCache, stream_identity
 from .paging import AddressSpace, PagePolicy, RandomPaging
 from .prefetch import PrefetchModel
+from .tlb import TLBSpec
 
 
 def strided_addresses(array_bytes: int, stride: int) -> np.ndarray:
@@ -64,6 +75,85 @@ def _strided_addresses_shared(array_bytes: int, stride: int) -> np.ndarray:
     return addresses
 
 
+@lru_cache(maxsize=512)
+def _virtual_lines_shared(array_bytes: int, stride: int, line_size: int) -> np.ndarray:
+    """Memoized, read-only virtual line numbers for one geometry."""
+    lines = _strided_addresses_shared(array_bytes, stride) // line_size
+    lines.setflags(write=False)
+    return lines
+
+
+@lru_cache(maxsize=1024)
+def _virtual_sets_shared(
+    array_bytes: int, stride: int, line_size: int, num_sets: int
+) -> np.ndarray:
+    """Memoized set-index vector for a virtually indexed level."""
+    sets = _virtual_lines_shared(array_bytes, stride, line_size) % num_sets
+    sets.setflags(write=False)
+    return sets
+
+
+@lru_cache(maxsize=4096)
+def _tlb_cycles_shared(
+    tlb: TLBSpec, page_size: int, array_bytes: int, stride: int
+) -> float:
+    """Average page-walk cycles per access for one cyclic traversal.
+
+    TLBs are per-core and indexed by virtual page, so the analysis
+    needs no page placement: group the accesses by virtual page and
+    apply the cyclic-LRU rule to the TLB sets.  Accesses to one page
+    are contiguous in address order, so an overloaded page costs one
+    walk per revolution regardless of how many accesses it gets.  The
+    result is a pure function of the four arguments — memoized because
+    every repeat-sample of a probe re-asks it.
+    """
+    vaddrs = _strided_addresses_shared(array_bytes, stride)
+    vpages = np.unique(vaddrs // page_size)
+    sets = vpages % tlb.num_sets
+    load = np.bincount(sets.astype(np.int64), minlength=tlb.num_sets)
+    overloaded_pages = int(load[load > tlb.effective_ways].sum())
+    return overloaded_pages * tlb.walk_cycles / len(vaddrs)
+
+
+def _space_lines(space: AddressSpace, stride: int, line_size: int) -> np.ndarray:
+    """Physical line numbers for a strided walk of ``space``, memoized.
+
+    Shared spaces outlive a single ``run`` call, so the translated line
+    vector (and the per-level set indices derived from it, see
+    :func:`_space_sets`) is attached to the space and reused by every
+    run that shares the placement.
+    """
+    memo = getattr(space, "_line_memo", None)
+    if memo is None:
+        memo = {}
+        space._line_memo = memo
+    key = ("plines", stride, line_size)
+    lines = memo.get(key)
+    if lines is None:
+        vaddrs = _strided_addresses_shared(space.array_bytes, stride)
+        lines = space.physical_lines(vaddrs, line_size)
+        lines.setflags(write=False)
+        memo[key] = lines
+    return lines
+
+
+def _space_sets(
+    space: AddressSpace, stride: int, line_size: int, num_sets: int
+) -> np.ndarray:
+    """Set-index vector for a physically indexed level, memoized per space."""
+    memo = getattr(space, "_line_memo", None)
+    if memo is None:
+        memo = {}
+        space._line_memo = memo
+    key = ("psets", stride, line_size, num_sets)
+    sets = memo.get(key)
+    if sets is None:
+        sets = _space_lines(space, stride, line_size) % num_sets
+        sets.setflags(write=False)
+        memo[key] = sets
+    return sets
+
+
 @dataclass(frozen=True)
 class Traversal:
     """One core's traversal workload: an array and a stride."""
@@ -88,6 +178,21 @@ class TraversalResult:
     seconds_per_round: dict[int, float] = field(default_factory=dict)
 
 
+def _copy_result(result: TraversalResult) -> TraversalResult:
+    """A structurally independent copy (cache entries stay pristine)."""
+    return TraversalResult(
+        cycles_per_access=dict(result.cycles_per_access),
+        miss_fraction={c: list(v) for c, v in result.miss_fraction.items()},
+        n_accesses=dict(result.n_accesses),
+        seconds_per_round=dict(result.seconds_per_round),
+    )
+
+
+#: Sentinel: "use the process-wide outcome cache" (distinct from None,
+#: which is the hard bypass).
+_USE_GLOBAL_CACHE = object()
+
+
 class TraversalEngine:
     """Computes steady-state traversal costs on a machine model.
 
@@ -100,6 +205,11 @@ class TraversalEngine:
         the case Servet's probabilistic algorithm targets.
     prefetch:
         Hardware prefetcher model (engages only for small strides).
+    outcome_cache:
+        Where to memoize whole ``run`` outcomes.  Defaults to the
+        process-wide :data:`~repro.memsim.outcome.GLOBAL_OUTCOME_CACHE`;
+        pass an explicit :class:`TraversalOutcomeCache` for a private
+        one, or ``None`` to bypass caching entirely (tests, baselines).
     """
 
     def __init__(
@@ -107,10 +217,33 @@ class TraversalEngine:
         machine: Machine,
         paging: PagePolicy | None = None,
         prefetch: PrefetchModel | None = None,
+        outcome_cache: TraversalOutcomeCache | None | object = _USE_GLOBAL_CACHE,
     ) -> None:
         self.machine = machine
         self.paging = paging if paging is not None else RandomPaging()
         self.prefetch = prefetch if prefetch is not None else PrefetchModel()
+        if outcome_cache is _USE_GLOBAL_CACHE:
+            outcome_cache = GLOBAL_OUTCOME_CACHE
+        self.outcome_cache: TraversalOutcomeCache | None = outcome_cache
+        # Machine identity is by value (equal machines share outcomes
+        # across engine/backend instances), hashed once here instead of
+        # re-deriving a deep dataclass hash on every lookup.
+        self._machine_token = sha256_hex(repr(machine))
+        self._paging_token = self.paging.cache_token()
+        self._hits_counter = None
+        self._misses_counter = None
+
+    def bind_metrics(self, metrics) -> None:
+        """Export cache hit/miss counts through a metrics registry.
+
+        Called by :func:`repro.backends.base.instrument_backend` (via
+        the backend's own ``bind_metrics``) so suite runs surface
+        ``memsim.outcome.hits`` / ``memsim.outcome.misses``.  The
+        counter objects are resolved once and cached — the hot path
+        must not pay a registry lookup per probe.
+        """
+        self._hits_counter = metrics.counter("memsim.outcome.hits")
+        self._misses_counter = metrics.counter("memsim.outcome.misses")
 
     def run(
         self,
@@ -129,21 +262,65 @@ class TraversalEngine:
                     f"core {t.core} out of range for {self.machine.name}"
                 )
         rng = ensure_rng(rng)
+
+        cache = self.outcome_cache
+        key = None
+        if cache is not None and self._paging_token is not None:
+            identity = stream_identity(rng)
+            if identity is not None:
+                # Traversals are keyed in *call order*: child streams
+                # are assigned by position, so a permutation is a
+                # different simulation even with the same workloads.
+                key = (
+                    self._machine_token,
+                    self._paging_token,
+                    self.prefetch,
+                    tuple(traversals),
+                    identity,
+                )
+                cached = cache.get(key)
+                if cached is not None:
+                    # Side-effect fidelity: a miss spawns one child
+                    # stream per traversal; replay that so cached and
+                    # uncached runs leave the RNG in identical states.
+                    rng.bit_generator.seed_seq.spawn(len(traversals))
+                    if self._hits_counter is not None:
+                        self._hits_counter.inc()
+                    return _copy_result(cached)
+                if self._misses_counter is not None:
+                    self._misses_counter.inc()
+
+        result = self._simulate(traversals, cores, rng)
+        if key is not None:
+            cache.put(key, _copy_result(result))
+        return result
+
+    def _simulate(
+        self,
+        traversals: list[Traversal],
+        cores: list[int],
+        rng: np.random.Generator,
+    ) -> TraversalResult:
+        """The actual steady-state computation (cache-miss path)."""
         child_rngs = spawn(rng, len(traversals))
 
         machine = self.machine
-        vlines: dict[int, np.ndarray] = {}
-        plines: dict[int, np.ndarray] = {}
+        line_size = machine.levels[0].spec.line_size
+        spaces: dict[int, AddressSpace] = {}
         active: dict[int, np.ndarray] = {}
         cost: dict[int, np.ndarray] = {}
+        n_accesses: dict[int, int] = {}
+        stride_of: dict[int, int] = {}
         for t, crng in zip(traversals, child_rngs):
-            vaddrs = _strided_addresses_shared(t.array_bytes, t.stride)
-            space = AddressSpace(machine.page_size, self.paging, t.array_bytes, crng)
-            line_size = machine.levels[0].spec.line_size
-            vlines[t.core] = space.virtual_lines(vaddrs, line_size)
-            plines[t.core] = space.physical_lines(vaddrs, line_size)
-            active[t.core] = np.ones(len(vaddrs), dtype=bool)
-            cost[t.core] = np.zeros(len(vaddrs), dtype=np.float64)
+            space = AddressSpace.shared(
+                machine.page_size, self.paging, t.array_bytes, crng
+            )
+            n = len(_strided_addresses_shared(t.array_bytes, t.stride))
+            spaces[t.core] = space
+            stride_of[t.core] = t.stride
+            active[t.core] = np.ones(n, dtype=bool)
+            cost[t.core] = np.zeros(n, dtype=np.float64)
+            n_accesses[t.core] = n
 
         miss_fraction: dict[int, list[float]] = {t.core: [] for t in traversals}
 
@@ -153,37 +330,42 @@ class TraversalEngine:
             t.core: self.prefetch.miss_latency_factor(t.stride) for t in traversals
         }
 
+        core_set = set(cores)
         for level_idx, level in enumerate(machine.levels):
             spec = level.spec
-            # Gather the active lines of every instance's members once.
-            for instance_idx, group in enumerate(level.groups):
+            # Set-index vectors are memoized per geometry (virtual) or
+            # per shared placement (physical); only the bincount load
+            # pass and the masked cost/active updates run per call.
+            sets: dict[int, np.ndarray] = {}
+            for t in traversals:
+                if spec.indexing is Indexing.VIRTUAL:
+                    sets[t.core] = _virtual_sets_shared(
+                        t.array_bytes, t.stride, line_size, spec.num_sets
+                    )
+                else:
+                    sets[t.core] = _space_sets(
+                        spaces[t.core], t.stride, line_size, spec.num_sets
+                    )
+            for group in level.groups:
+                if core_set.isdisjoint(group):
+                    continue
                 members = [c for c in cores if c in group and active[c].any()]
                 if not members:
                     continue
-                set_indices: dict[int, np.ndarray] = {}
-                for c in members:
-                    lines = vlines[c] if spec.indexing is Indexing.VIRTUAL else plines[c]
-                    set_indices[c] = (lines[active[c]] % spec.num_sets).astype(np.int64)
-                combined = np.concatenate([set_indices[c] for c in members])
+                combined = np.concatenate([sets[c][active[c]] for c in members])
                 load = np.bincount(combined, minlength=spec.num_sets)
                 overloaded = load > spec.ways
                 for c in members:
-                    idx = np.flatnonzero(active[c])
                     latency = spec.latency * (pf_factor[c] if level_idx > 0 else 1.0)
-                    cost[c][idx] += latency
-                    missing = overloaded[set_indices[c]]
+                    cost[c][active[c]] += latency
                     # Lines in non-overloaded sets hit here and stop.
-                    still = idx[missing]
-                    new_active = np.zeros_like(active[c])
-                    new_active[still] = True
-                    active[c] = new_active
+                    active[c] &= overloaded[sets[c]]
             for t in traversals:
-                denom = len(vlines[t.core])
+                denom = n_accesses[t.core]
                 miss_fraction[t.core].append(float(active[t.core].sum()) / denom)
 
         for t in traversals:
-            idx = np.flatnonzero(active[t.core])
-            cost[t.core][idx] += machine.mem_latency * pf_factor[t.core]
+            cost[t.core][active[t.core]] += machine.mem_latency * pf_factor[t.core]
 
         tlb_extra = {
             t.core: self._tlb_cycles_per_access(t) for t in traversals
@@ -193,35 +375,24 @@ class TraversalEngine:
             t.core: float(cost[t.core].mean()) + tlb_extra[t.core]
             for t in traversals
         }
-        n_accesses = {t.core: int(len(vlines[t.core])) for t in traversals}
         seconds = {
             c: cycles[c] * n_accesses[c] / machine.clock_hz for c in cycles
         }
         return TraversalResult(
             cycles_per_access=cycles,
             miss_fraction=miss_fraction,
-            n_accesses=n_accesses,
+            n_accesses=dict(n_accesses),
             seconds_per_round=seconds,
         )
 
     def _tlb_cycles_per_access(self, traversal: Traversal) -> float:
-        """Average page-walk cycles per access for one cyclic traversal.
-
-        TLBs are per-core and indexed by virtual page, so the analysis
-        needs no page placement: group the accesses by virtual page and
-        apply the cyclic-LRU rule to the TLB sets.  Accesses to one page
-        are contiguous in address order, so an overloaded page costs one
-        walk per revolution regardless of how many accesses it gets.
-        """
+        """Average page-walk cycles per access (memoized; see module fn)."""
         tlb = self.machine.tlb
         if tlb is None:
             return 0.0
-        vaddrs = _strided_addresses_shared(traversal.array_bytes, traversal.stride)
-        vpages = np.unique(vaddrs // self.machine.page_size)
-        sets = vpages % tlb.num_sets
-        load = np.bincount(sets.astype(np.int64), minlength=tlb.num_sets)
-        overloaded_pages = int(load[load > tlb.effective_ways].sum())
-        return overloaded_pages * tlb.walk_cycles / len(vaddrs)
+        return _tlb_cycles_shared(
+            tlb, self.machine.page_size, traversal.array_bytes, traversal.stride
+        )
 
     def single(
         self,

@@ -117,6 +117,17 @@ class CommConfig:
         # therefore no layers; any lookup will still fail loudly.
         self.layers = dict(layers)
 
+    def canonical(self) -> str:
+        """Deterministic value description (cache keys, fingerprints).
+
+        Two configs with equal layer parameters produce equal strings
+        regardless of construction order — :class:`LayerParams` is a
+        frozen dataclass, so its repr is a value repr.
+        """
+        return ";".join(
+            f"{key}={self.layers[key]!r}" for key in sorted(self.layers)
+        )
+
     def params_for_relationship(self, relationship: str) -> LayerParams:
         """Parameters of the layer serving a given relationship key."""
         try:

@@ -95,12 +95,19 @@ class PlannerStats:
 
     def __init__(self, registry: MetricsRegistry | None = None, **initial: int):
         self.registry = registry if registry is not None else MetricsRegistry()
+        # Resolve the instruments once: the attribute interface is hit
+        # several times per probe, and a registry lookup per access is
+        # measurable at suite scale.
+        self._instruments = {
+            name: self.registry.counter(f"planner.{name}")
+            for name in self._COUNTERS
+        }
         unknown = set(initial) - set(self._COUNTERS)
         if unknown:
             raise ConfigurationError(f"unknown planner counters: {sorted(unknown)}")
         for name, value in initial.items():
             if value:
-                self.registry.counter(f"planner.{name}").inc(value)
+                self._instruments[name].inc(value)
 
     @property
     def saved(self) -> int:
@@ -117,15 +124,15 @@ class PlannerStats:
         for name in self._COUNTERS:
             increment = int(data.get(name, 0))
             if increment:
-                self.registry.counter(f"planner.{name}").inc(increment)
+                self._instruments[name].inc(increment)
 
 
 def _stats_counter(name: str) -> property:
     def _get(self: PlannerStats) -> int:
-        return int(self.registry.counter(f"planner.{name}").value)
+        return int(self._instruments[name].value)
 
     def _set(self: PlannerStats, value: int) -> None:
-        self.registry.counter(f"planner.{name}").set(value)
+        self._instruments[name].set(value)
 
     return property(_get, _set)
 
@@ -217,6 +224,7 @@ class PlanExecutor:
         self.timeout_retries = timeout_retries
         self.stats = PlannerStats(registry=self.metrics)
         self._memo: dict[Probe, object] = {}
+        self._issue_counters: dict[str, object] = {}
 
     # -- plan execution -----------------------------------------------------
 
@@ -247,9 +255,12 @@ class PlanExecutor:
             self.stats.issued += 1
 
     def _issue_counter(self, probe: Probe):
-        return self.metrics.counter(
-            "planner.probes_issued", kind=probe_kind(probe)
-        )
+        kind = probe_kind(probe)
+        counter = self._issue_counters.get(kind)
+        if counter is None:
+            counter = self.metrics.counter("planner.probes_issued", kind=kind)
+            self._issue_counters[kind] = counter
+        return counter
 
     @property
     def _threaded(self) -> bool:

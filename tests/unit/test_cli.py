@@ -127,3 +127,40 @@ def test_run_with_samples_hardening(tmp_path):
     ) == 0
     data = json.loads(path.read_text())
     assert data["caches"]
+
+
+def test_run_no_sim_cache_matches_cached_run(tmp_path, capsys):
+    cached = tmp_path / "cached.json"
+    bypassed = tmp_path / "bypassed.json"
+    assert main(["run", "--machine", "dempsey", "-o", str(cached)]) == 0
+    assert main(
+        ["run", "--machine", "dempsey", "--no-sim-cache", "-o", str(bypassed)]
+    ) == 0
+    a = json.loads(cached.read_text())
+    b = json.loads(bypassed.read_text())
+    # The cache only changes wall-clock time, never measurements.
+    for volatile in ("timings", "total_wall_seconds"):
+        a.pop(volatile, None)
+        b.pop(volatile, None)
+    assert a == b
+
+
+def test_no_sim_cache_invalidates_cached_checkpoint(tmp_path, capsys):
+    ckpt = tmp_path / "ckpt.json"
+    assert main(["run", "--machine", "dempsey", "--checkpoint", str(ckpt)]) == 0
+    capsys.readouterr()
+    # The fingerprint records the knob: a cached checkpoint must not
+    # seed a --no-sim-cache baseline run.
+    code = main(
+        [
+            "run",
+            "--machine",
+            "dempsey",
+            "--no-sim-cache",
+            "--checkpoint",
+            str(ckpt),
+            "--resume",
+        ]
+    )
+    assert code == 1
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,214 @@
+"""Unit tests for the traversal outcome cache and shared paging layer."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import (
+    GLOBAL_OUTCOME_CACHE,
+    TraversalOutcomeCache,
+    clear_global_cache,
+    stream_identity,
+)
+from repro.memsim.paging import AddressSpace, RandomPaging
+from repro.memsim.prefetch import NO_PREFETCH
+from repro.memsim.traversal import Traversal, TraversalEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.topology import dempsey
+from repro.units import KiB
+
+
+def make_engine(**kw) -> TraversalEngine:
+    return TraversalEngine(dempsey(), prefetch=NO_PREFETCH, **kw)
+
+
+class TestStreamIdentity:
+    def test_same_seed_same_identity(self):
+        assert stream_identity(np.random.default_rng(7)) == stream_identity(
+            np.random.default_rng(7)
+        )
+
+    def test_different_seeds_differ(self):
+        assert stream_identity(np.random.default_rng(7)) != stream_identity(
+            np.random.default_rng(8)
+        )
+
+    def test_spawning_advances_identity(self):
+        rng = np.random.default_rng(7)
+        before = stream_identity(rng)
+        rng.bit_generator.seed_seq.spawn(2)
+        after = stream_identity(rng)
+        assert before != after
+        assert after[2] == before[2] + 2  # n_children_spawned
+
+    def test_drawing_values_does_not_change_identity(self):
+        # Child streams derive from the seed sequence, not the
+        # generator state: noise draws must not perturb the cache key.
+        rng = np.random.default_rng(7)
+        before = stream_identity(rng)
+        rng.normal(size=100)
+        assert stream_identity(rng) == before
+
+    def test_uninspectable_generator_returns_none(self):
+        class Opaque:
+            pass
+
+        assert stream_identity(Opaque()) is None
+
+
+class TestTraversalOutcomeCache:
+    def test_lru_eviction(self):
+        cache = TraversalOutcomeCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.get(("a",)) == 1  # refresh "a"
+        cache.put(("c",), 3)  # evicts "b"
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == 1
+        assert cache.get(("c",)) == 3
+
+    def test_counters_and_clear(self):
+        cache = TraversalOutcomeCache()
+        assert cache.get(("x",)) is None
+        cache.put(("x",), 42)
+        assert cache.get(("x",)) == 42
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        cache.clear()
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            TraversalOutcomeCache(max_entries=0)
+
+
+class TestEngineCaching:
+    def setup_method(self):
+        clear_global_cache()
+        AddressSpace.clear_shared()
+
+    def test_repeat_run_hits_and_matches(self):
+        cache = TraversalOutcomeCache()
+        engine = make_engine(outcome_cache=cache)
+        travs = [Traversal(0, 64 * KiB, 64)]
+        first = engine.run(travs, rng=np.random.default_rng(3))
+        second = engine.run(travs, rng=np.random.default_rng(3))
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert first == second
+
+    def test_hit_returns_independent_copy(self):
+        cache = TraversalOutcomeCache()
+        engine = make_engine(outcome_cache=cache)
+        travs = [Traversal(0, 64 * KiB, 64)]
+        first = engine.run(travs, rng=np.random.default_rng(3))
+        first.cycles_per_access[0] = -1.0
+        first.miss_fraction[0].append(99.0)
+        second = engine.run(travs, rng=np.random.default_rng(3))
+        assert second.cycles_per_access[0] != -1.0
+        assert 99.0 not in second.miss_fraction[0]
+
+    def test_hit_leaves_rng_in_miss_state(self):
+        """Cached and uncached runs must consume identical spawn keys."""
+        cache = TraversalOutcomeCache()
+        cached_engine = make_engine(outcome_cache=cache)
+        bypass_engine = make_engine(outcome_cache=None)
+        travs = [Traversal(0, 64 * KiB, 64), Traversal(1, 32 * KiB, 64)]
+        cached_engine.run(travs, rng=np.random.default_rng(5))  # prime
+
+        rng_cached = np.random.default_rng(5)
+        rng_bypass = np.random.default_rng(5)
+        hit = cached_engine.run(travs, rng=rng_cached)
+        miss = bypass_engine.run(travs, rng=rng_bypass)
+        assert cache.stats()["hits"] == 1
+        assert hit == miss
+        assert stream_identity(rng_cached) == stream_identity(rng_bypass)
+        # Follow-up runs key identically either way.
+        assert cached_engine.run(travs, rng=rng_cached) == bypass_engine.run(
+            travs, rng=rng_bypass
+        )
+
+    def test_bypassed_engine_never_consults_cache(self):
+        engine = make_engine(outcome_cache=None)
+        before = GLOBAL_OUTCOME_CACHE.stats()
+        engine.run([Traversal(0, 64 * KiB, 64)], rng=np.random.default_rng(3))
+        assert GLOBAL_OUTCOME_CACHE.stats() == before
+
+    def test_traversal_order_is_part_of_the_key(self):
+        """Child streams are positional: a permutation is a different run."""
+        cache = TraversalOutcomeCache()
+        engine = make_engine(outcome_cache=cache)
+        a, b = Traversal(0, 64 * KiB, 64), Traversal(1, 256 * KiB, 64)
+        engine.run([a, b], rng=np.random.default_rng(3))
+        engine.run([b, a], rng=np.random.default_rng(3))
+        assert cache.stats()["misses"] == 2
+        assert cache.stats()["hits"] == 0
+
+    def test_custom_policy_without_token_bypasses_cache(self):
+        class OpaquePolicy(RandomPaging):
+            def cache_token(self):
+                return None
+
+        cache = TraversalOutcomeCache()
+        engine = make_engine(outcome_cache=cache, paging=OpaquePolicy())
+        engine.run([Traversal(0, 64 * KiB, 64)], rng=np.random.default_rng(3))
+        engine.run([Traversal(0, 64 * KiB, 64)], rng=np.random.default_rng(3))
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_equal_valued_machines_share_outcomes(self):
+        cache = TraversalOutcomeCache()
+        one = TraversalEngine(dempsey(), prefetch=NO_PREFETCH, outcome_cache=cache)
+        two = TraversalEngine(dempsey(), prefetch=NO_PREFETCH, outcome_cache=cache)
+        travs = [Traversal(0, 64 * KiB, 64)]
+        first = one.run(travs, rng=np.random.default_rng(3))
+        second = two.run(travs, rng=np.random.default_rng(3))
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert first == second
+
+    def test_bind_metrics_exports_counters(self):
+        cache = TraversalOutcomeCache()
+        engine = make_engine(outcome_cache=cache)
+        metrics = MetricsRegistry()
+        engine.bind_metrics(metrics)
+        travs = [Traversal(0, 64 * KiB, 64)]
+        engine.run(travs, rng=np.random.default_rng(3))
+        engine.run(travs, rng=np.random.default_rng(3))
+        assert metrics.counter("memsim.outcome.hits").value == 1
+        assert metrics.counter("memsim.outcome.misses").value == 1
+
+
+class TestSharedAddressSpaces:
+    def setup_method(self):
+        AddressSpace.clear_shared()
+
+    def test_same_stream_shares_instance(self):
+        policy = RandomPaging()
+        a = AddressSpace.shared(4096, policy, 64 * KiB, np.random.default_rng(9))
+        b = AddressSpace.shared(4096, policy, 64 * KiB, np.random.default_rng(9))
+        assert a is b
+        assert not a.page_table.flags.writeable
+
+    def test_distinct_streams_get_distinct_placements(self):
+        policy = RandomPaging()
+        a = AddressSpace.shared(4096, policy, 64 * KiB, np.random.default_rng(9))
+        b = AddressSpace.shared(4096, policy, 64 * KiB, np.random.default_rng(10))
+        assert a is not b
+        assert not np.array_equal(a.page_table, b.page_table)
+
+    def test_shared_placement_equals_private_construction(self):
+        policy = RandomPaging()
+        shared = AddressSpace.shared(4096, policy, 64 * KiB, np.random.default_rng(9))
+        private = AddressSpace(4096, policy, 64 * KiB, np.random.default_rng(9))
+        np.testing.assert_array_equal(shared.page_table, private.page_table)
+
+    def test_bounded(self):
+        policy = RandomPaging()
+        old = AddressSpace.SHARED_MAX_ENTRIES
+        AddressSpace.SHARED_MAX_ENTRIES = 4
+        try:
+            for seed in range(8):
+                AddressSpace.shared(
+                    4096, policy, 64 * KiB, np.random.default_rng(seed)
+                )
+            assert len(AddressSpace._shared) <= 4
+        finally:
+            AddressSpace.SHARED_MAX_ENTRIES = old
+            AddressSpace.clear_shared()

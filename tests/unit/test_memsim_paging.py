@@ -8,13 +8,29 @@ from repro.memsim.paging import (
     AddressSpace,
     ColoredPaging,
     ContiguousPaging,
+    PagePolicy,
     RandomPaging,
+    _has_duplicates,
 )
 from repro.units import KiB
 
 
 def rng():
     return np.random.default_rng(123)
+
+
+class DuplicatingPolicy(PagePolicy):
+    """A broken user policy: maps every virtual page to frame 0."""
+
+    def place(self, n_pages, rng):
+        self._check(n_pages)
+        return np.zeros(n_pages, dtype=np.int64)
+
+
+class LyingPolicy(DuplicatingPolicy):
+    """Duplicates frames while claiming it cannot."""
+
+    guarantees_distinct_frames = True
 
 
 class TestRandomPaging:
@@ -91,3 +107,40 @@ class TestAddressSpace:
     def test_page_count_rounds_up(self):
         space = AddressSpace(4 * KiB, RandomPaging(), 5 * KiB, rng())
         assert space.n_pages == 2
+
+
+class TestDuplicateValidation:
+    def test_user_policy_with_duplicates_raises(self):
+        # User-supplied policies default to guarantees_distinct_frames
+        # == False, so the construction-time check must still catch a
+        # genuinely duplicating placement.
+        with pytest.raises(SimulationError, match="duplicate"):
+            AddressSpace(4 * KiB, DuplicatingPolicy(), 8 * KiB, rng())
+
+    def test_builtin_policies_skip_check_but_forced_check_works(self):
+        # A policy that *claims* distinctness skips validation by
+        # default; validate=True forces the check regardless.
+        AddressSpace(4 * KiB, LyingPolicy(), 8 * KiB, rng())  # no raise
+        with pytest.raises(SimulationError, match="duplicate"):
+            AddressSpace(4 * KiB, LyingPolicy(), 8 * KiB, rng(), validate=True)
+
+    def test_validate_false_disables_check(self):
+        space = AddressSpace(
+            4 * KiB, DuplicatingPolicy(), 8 * KiB, rng(), validate=False
+        )
+        assert space.n_pages == 2
+
+    def test_has_duplicates_dense_path(self):
+        # Value range small enough to bincount.
+        assert _has_duplicates(np.array([5, 6, 7, 6], dtype=np.int64))
+        assert not _has_duplicates(np.array([5, 6, 7, 8], dtype=np.int64))
+
+    def test_has_duplicates_sparse_path(self):
+        # Range >> size: falls back to the set-based check.
+        huge = np.array([0, 10**12, 2 * 10**12], dtype=np.int64)
+        assert not _has_duplicates(huge)
+        assert _has_duplicates(np.array([0, 10**12, 0], dtype=np.int64))
+
+    def test_trivial_sizes(self):
+        assert not _has_duplicates(np.array([], dtype=np.int64))
+        assert not _has_duplicates(np.array([3], dtype=np.int64))

@@ -13,6 +13,7 @@ from repro.planner import (
     MessageProbe,
     PairClass,
     PlanExecutor,
+    PlanStep,
     PlannerStats,
     StreamProbe,
     TopologyClassifier,
@@ -80,6 +81,24 @@ class TestPlanRepresentation:
         second = plan.add(MessageProbe(pair=(2, 3), nbytes=8), after=(first,))
         assert [step.probe for step in plan] == [first, second]
         assert list(plan)[1].after == (first,)
+
+    def test_plan_seeded_with_steps_knows_their_probes(self):
+        # The incremental known-probe set must cover steps passed to the
+        # constructor, not just ones added through add().
+        seeded = MessageProbe(pair=(0, 1), nbytes=8)
+        plan = MeasurementPlan(steps=[PlanStep(probe=seeded)])
+        plan.add(MessageProbe(pair=(2, 3), nbytes=8), after=(seeded,))
+        assert len(plan) == 2
+
+    def test_large_plan_add_is_linear(self):
+        # 4000 adds with a dependency each: quadratic membership checks
+        # would make this visibly slow; mostly this guards the invariant
+        # that every added probe is immediately usable as a dependency.
+        plan = MeasurementPlan()
+        prev = plan.add(MessageProbe(pair=(0, 1), nbytes=1))
+        for n in range(2, 4000):
+            prev = plan.add(MessageProbe(pair=(0, 1), nbytes=n), after=(prev,))
+        assert len(plan) == 3999
 
 
 class TestMemoization:
