@@ -159,6 +159,15 @@ def test_service_throughput(baseline_report, figure, tmp_path):
             "measurements_identical": identical,
         },
     }
+    # bench_serviced_load.py shares this file: keep its section intact
+    # so the two benches can run in either order.
+    if BENCH_PATH.exists():
+        try:
+            existing = json.loads(BENCH_PATH.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+        if "serviced" in existing:
+            payload["serviced"] = existing["serviced"]
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     # Acceptance bars (ISSUE, new_subsystem): warm hit rate >= 90% with

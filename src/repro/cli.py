@@ -13,8 +13,10 @@ Subcommands:
   answers derived from a report (registry specs work here too).
 - ``servet serve`` — drive the in-process tuning service with the
   deterministic concurrent-client harness and print cache metrics.
+- ``servet serve --listen HOST:PORT`` — run the batching,
+  hot-reloading tuning daemon until SIGTERM or a client ``drain``.
 - ``servet query SPEC KIND`` — answer one tuning query from a stored
-  report.
+  report (``--remote HOST:PORT`` asks a running daemon instead).
 - ``servet registry list|gc`` — inspect / garbage-collect the registry.
 - ``servet fleet generate|survey|status|resume`` — fault-tolerant
   characterization of a whole fleet: dedup machines by hardware class,
@@ -27,14 +29,16 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
+import threading
 from pathlib import Path
 from collections.abc import Sequence
 
 from .autotune import Advisor
 from .backends import SimulatedBackend
 from .core import ServetReport, ServetSuite
-from .errors import ReproError
+from .errors import ReproError, ServicedError
 from .fleet import (
     FleetConfig,
     FleetCoordinator,
@@ -63,6 +67,7 @@ from .service import (
     query_from_spec,
     run_harness,
 )
+from .serviced import ServicedClient, TuningDaemon
 from .topology import (
     Cluster,
     build_machine,
@@ -257,8 +262,37 @@ def _build_parser() -> argparse.ArgumentParser:
 
     srv = sub.add_parser(
         "serve",
-        help="start the in-process tuning service and drive it with the "
-        "deterministic concurrent-client harness",
+        help="serve tuning queries: with --listen, run the network daemon; "
+        "otherwise drive the in-process service with the deterministic "
+        "concurrent-client harness",
+    )
+    srv.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="run as a network daemon on this address (port 0 picks a "
+        "free port; SIGTERM or a client 'drain' request shuts down "
+        "gracefully)",
+    )
+    srv.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="daemon worker threads (with --listen; default 4)",
+    )
+    srv.add_argument(
+        "--batch-max",
+        type=int,
+        default=64,
+        help="max requests a worker batches per loop (with --listen; "
+        "default 64)",
+    )
+    srv.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="seconds between registry hot-reload probes (with --listen; "
+        "default 0.5)",
     )
     srv.add_argument(
         "--report", default=None, metavar="PATH", help="serve this report file"
@@ -325,6 +359,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="read from this report registry instead of a file path",
+    )
+    qry.add_argument(
+        "--remote",
+        default=None,
+        metavar="HOST:PORT",
+        help="ask a running 'servet serve --listen' daemon instead of "
+        "loading a report (the positional path is ignored; pass '-')",
     )
     qry.add_argument("--level", type=int, default=1, help="cache level (tiling)")
     qry.add_argument(
@@ -732,7 +773,70 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_hostport(spec: str) -> tuple[str, int]:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ServicedError(
+            f"address {spec!r} is not HOST:PORT (e.g. 127.0.0.1:7777)"
+        )
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ServicedError(f"address {spec!r} has a non-numeric port") from exc
+
+
+def _cmd_serve_daemon(args: argparse.Namespace) -> int:
+    host, port = _parse_hostport(args.listen)
+    if args.report is not None:
+        daemon = TuningDaemon(
+            report=ServetReport.load(args.report),
+            host=host,
+            port=port,
+            workers=args.workers,
+            batch_max=args.batch_max,
+            capacity=args.capacity,
+            ttl=args.ttl,
+        )
+        source = args.report
+    else:
+        daemon = TuningDaemon(
+            registry=ReportRegistry(args.registry),
+            spec=args.fingerprint,
+            host=host,
+            port=port,
+            workers=args.workers,
+            batch_max=args.batch_max,
+            poll_interval=args.poll_interval,
+            capacity=args.capacity,
+            ttl=args.ttl,
+        )
+        source = f"{args.registry} [{args.fingerprint}]"
+    daemon.start()
+    # The parseable "listening" line is the contract the smoke test (and
+    # any process supervisor) reads the bound port from.
+    print(f"tuning daemon for {daemon.report.system} ({source})")
+    print(f"listening on {daemon.host}:{daemon.port}", flush=True)
+
+    def _on_signal(signum, frame):
+        daemon.drain(wait=False)
+
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+    daemon.wait()
+    stats = daemon.stats()
+    service = stats["service"]
+    print(
+        f"drained: served {service['queries']} queries "
+        f"(hit rate {100 * service['hit_rate']:.1f}%) "
+        f"at report version v{stats['version']}"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.listen is not None:
+        return _cmd_serve_daemon(args)
     if args.report is not None:
         report = ServetReport.load(args.report)
         source = args.report
@@ -792,7 +896,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    report = _load_report_arg(args.path, args.registry)
     params: dict = {
         "level": args.level,
         "n_arrays": args.arrays,
@@ -808,8 +911,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
         params["core_a"], params["core_b"] = core_a, core_b
     if args.placement is not None:
         params["placement"] = [int(c) for c in args.placement.split(",")]
-    service = TuningService(report)
-    result = service.query(query_from_spec(args.kind, report, **params))
+    if args.remote is not None:
+        host, port = _parse_hostport(args.remote)
+        with ServicedClient(host, port) as client:
+            result = client.query(query_from_spec(args.kind, None, **params))
+    else:
+        report = _load_report_arg(args.path, args.registry)
+        service = TuningService(report)
+        result = service.query(query_from_spec(args.kind, report, **params))
     print(json.dumps(result, indent=2, sort_keys=True))
     return 0
 

@@ -101,6 +101,16 @@ class FleetProtocolError(FleetError):
     """
 
 
+class ServicedError(ServiceError):
+    """The serving daemon or its wire protocol failed.
+
+    Examples: a frame whose length prefix exceeds the protocol limit,
+    a connection that closed mid-frame, malformed request/response
+    JSON, an unknown query kind on the wire, or a client that could
+    not reach the daemon at all (connection refused).
+    """
+
+
 class RegistryError(ServiceError):
     """A report-registry operation failed.
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 import threading
 from collections import deque
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from ..errors import ConfigurationError
 from ..ioutils import atomic_write_text
@@ -154,6 +154,13 @@ class Histogram:
             self._samples.append(float(value))
             self._count += 1
             self._total += value
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a batch under one lock acquisition (hot-path helper)."""
+        with self._lock:
+            self._samples.extend(values)
+            self._count += len(values)
+            self._total += sum(values)
 
     @property
     def count(self) -> int:

@@ -285,6 +285,33 @@ class ReportRegistry:
             f"registry has no intact report for {digest[:12]}{detail}"
         )
 
+    def latest_version(self, digest: str) -> int:
+        """Newest stored version number of a digest — no payload read.
+
+        A pure directory-listing probe: version numbers live in the
+        file *names*, so polling this in a watcher loop (the serving
+        daemon does, every ``poll_interval``) costs one ``listdir``
+        and zero JSON deserialization.  Accepts a full digest or a
+        unique prefix; returns 0 when the digest has no versions (or
+        no directory yet).  ``"latest"`` is deliberately unsupported —
+        resolving it requires reading envelopes, which would defeat
+        the cheapness this probe exists for.
+        """
+        if digest == "latest":
+            raise RegistryError(
+                "latest_version needs a digest or prefix; resolve 'latest' "
+                "first (it requires reading stored envelopes)"
+            )
+        matches = [d for d in self._digest_dirs() if d.name.startswith(digest)]
+        if not matches:
+            return 0
+        if len(matches) > 1:
+            raise RegistryError(
+                f"fingerprint prefix {digest!r} is ambiguous: "
+                + ", ".join(m.name[:12] for m in sorted(matches))
+            )
+        return self._latest_version_number(matches[0])
+
     def fingerprint_inputs(self, spec: str = "latest") -> dict:
         """The stored fingerprint inputs of a digest (staleness baseline)."""
         digest = self.resolve(spec)

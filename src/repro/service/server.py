@@ -25,7 +25,7 @@ import random
 import threading
 import time
 from collections import OrderedDict
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
 
@@ -199,6 +199,66 @@ class LRUTTLCache:
             return len(self._entries)
 
 
+class SingleFlightTable:
+    """Bounded per-key locks serializing concurrent misses on one key.
+
+    The earlier implementation hashed every key onto a fixed stripe
+    array, which meant (a) unrelated keys colliding on a stripe
+    serialized each other's computations and (b) the natural fix —
+    one lock per key — would grow without bound under a large keyset.
+    This table gives each *in-flight* key its own lock and recycles
+    the entry the moment its last holder releases, so memory is
+    bounded by concurrent distinct misses, never by the total keys
+    ever seen.  ``cap`` is a hard ceiling against pathological
+    concurrency: once ``cap`` keys are simultaneously in flight, new
+    keys degrade to a small fixed stripe array (correct, merely
+    coarser) instead of growing the table.
+
+    ``live()``/``peak``/``fallbacks`` expose the bound for tests and
+    metrics.
+    """
+
+    def __init__(self, cap: int = 128, stripes: int = 16) -> None:
+        if cap < 1 or stripes < 1:
+            raise ServiceError("single-flight table needs cap >= 1, stripes >= 1")
+        self.cap = cap
+        self._lock = threading.Lock()
+        #: key -> [per-key lock, holder/waiter count]
+        self._entries: dict[object, list] = {}
+        self._stripes = tuple(threading.Lock() for _ in range(stripes))
+        self.peak = 0
+        self.fallbacks = 0
+
+    def live(self) -> int:
+        """Entries currently in the table (== keys in flight)."""
+        with self._lock:
+            return len(self._entries)
+
+    @contextmanager
+    def flight(self, key):
+        """Hold ``key``'s single-flight lock for the duration."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None and len(self._entries) < self.cap:
+                entry = self._entries[key] = [threading.Lock(), 0]
+                self.peak = max(self.peak, len(self._entries))
+            if entry is None:
+                self.fallbacks += 1
+                lock = self._stripes[hash(key) % len(self._stripes)]
+            else:
+                entry[1] += 1
+                lock = entry[0]
+        try:
+            with lock:
+                yield
+        finally:
+            if entry is not None:
+                with self._lock:
+                    entry[1] -= 1
+                    if entry[1] == 0:
+                        del self._entries[key]
+
+
 class TuningService:
     """Concurrent query answering over one report, with an answer cache.
 
@@ -220,6 +280,9 @@ class TuningService:
         Optional span collector; when given, every :meth:`query` emits
         a ``service.query`` span tagged with the query type and
         hit/miss outcome.
+    single_flight_cap:
+        Bound on the per-key miss-lock table (see
+        :class:`SingleFlightTable`).
     """
 
     def __init__(
@@ -231,6 +294,7 @@ class TuningService:
         timer: Callable[[], float] = time.perf_counter,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        single_flight_cap: int = 128,
     ) -> None:
         self.report = report
         self.advisor = Advisor(report)
@@ -247,11 +311,12 @@ class TuningService:
         self._latency = self.metrics_registry.histogram(
             "service.query_latency_seconds"
         )
-        # Single-flight stripes: concurrent misses on the same key
-        # serialize on hash(key)'s stripe and re-check the cache, so a
-        # fresh key is computed (and counted as a miss) exactly once no
-        # matter how clients interleave.
-        self._miss_stripes = tuple(threading.Lock() for _ in range(64))
+        # Single-flight: concurrent misses on the same key serialize on
+        # a per-key lock and re-check the cache, so a fresh key is
+        # computed (and counted as a miss) exactly once no matter how
+        # clients interleave.  The table is bounded: entries recycle as
+        # soon as their key has no holder (see SingleFlightTable).
+        self.single_flight = SingleFlightTable(cap=single_flight_cap)
 
     @classmethod
     def from_registry(
@@ -272,11 +337,11 @@ class TuningService:
             hit, value = self.cache.get(query)
             if not hit:
                 # Compute outside the cache lock but under the key's
-                # single-flight stripe: a racing client blocks here,
+                # single-flight lock: a racing client blocks here,
                 # then finds the value on the re-check, so duplicate
                 # work is avoided and hit/miss counts depend only on
                 # the distinct-key set, not on thread interleaving.
-                with self._miss_stripes[hash(query) % len(self._miss_stripes)]:
+                with self.single_flight.flight(query):
                     hit, value = self.cache.get(query)
                     if not hit:
                         value = answer(self.advisor, query)
@@ -466,6 +531,7 @@ __all__ = [
     "LRUTTLCache",
     "MatmulTileQuery",
     "Query",
+    "SingleFlightTable",
     "StreamingCoresQuery",
     "TileQuery",
     "TuningService",

@@ -214,6 +214,14 @@ def incremental_refresh(
     staleness = assess_staleness(stored_inputs, live.inputs)
 
     base_digest = registry.resolve(base)
+    # Cheap existence probe (file names only) before any payload load:
+    # a digest directory with metadata but no stored versions fails
+    # here with a clear message instead of a deep registry error.
+    if registry.latest_version(base_digest) == 0:
+        raise ServiceError(
+            f"registry has no stored versions of {base_digest[:12]} "
+            "to refresh from"
+        )
     if live.digest == base_digest:
         return RefreshResult(
             report=registry.get(base_digest),

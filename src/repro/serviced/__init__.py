@@ -1,0 +1,47 @@
+"""The tuning daemon: the measure-once-serve-forever story at wire level.
+
+:mod:`repro.service` answers tuning queries in-process;
+this package puts a socket in front of it:
+
+- :mod:`repro.serviced.protocol` — length-prefixed canonical-JSON
+  frames; the typed query objects serialize losslessly.
+- :mod:`repro.serviced.daemon` — :class:`TuningDaemon`: acceptor +
+  worker pool with per-batch coalescing, atomically swapped report
+  snapshots hot-reloaded from the registry, graceful drain, SLO
+  metrics on the shared registry.
+- :mod:`repro.serviced.client` — :class:`ServicedClient`: synchronous
+  and pipelined queries plus the control verbs; backs
+  ``servet query --remote``.
+
+CLI: ``servet serve --listen HOST:PORT``.
+"""
+
+from .client import ServicedClient
+from .daemon import TuningDaemon
+from .protocol import (
+    MAX_FRAME,
+    REQUEST_KINDS,
+    control_request,
+    decode_query,
+    encode_frame,
+    encode_query,
+    error_response,
+    ok_response,
+    query_request,
+    read_frame,
+)
+
+__all__ = [
+    "MAX_FRAME",
+    "REQUEST_KINDS",
+    "ServicedClient",
+    "TuningDaemon",
+    "control_request",
+    "decode_query",
+    "encode_frame",
+    "encode_query",
+    "error_response",
+    "ok_response",
+    "query_request",
+    "read_frame",
+]

@@ -1,0 +1,154 @@
+"""Client for the tuning daemon's wire protocol.
+
+:class:`ServicedClient` is the reference client: synchronous typed
+queries (:meth:`query`), a pipelined batch path (:meth:`query_many`)
+that writes every request frame before reading any response, and the
+control verbs (:meth:`stats`, :meth:`ping`, :meth:`reload`,
+:meth:`drain`).  It backs ``servet query --remote`` and the load
+generator in ``benchmarks/bench_serviced_load.py``.
+
+Failure is always :class:`~repro.errors.ServicedError` with a message
+naming what went wrong — connection refused, connection closed
+mid-frame, a malformed response, or an error the daemon reported —
+so the CLI can turn any of it into a clean ``error:`` exit.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections.abc import Sequence
+
+from ..errors import ServicedError
+from ..service.server import Query
+from .protocol import control_request, encode_frame, query_request, read_frame
+
+__all__ = ["ServicedClient"]
+
+
+class ServicedClient:
+    """One connection to a :class:`~repro.serviced.daemon.TuningDaemon`."""
+
+    def __init__(self, host: str, port: int, timeout: float | None = 10.0) -> None:
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServicedError(
+                f"cannot connect to tuning daemon at {host}:{port}: {exc}"
+            ) from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _take_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _send(self, data: bytes) -> None:
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            raise ServicedError(f"cannot send to daemon: {exc}") from exc
+
+    def _read_response(self) -> dict:
+        try:
+            frame = read_frame(self._rfile.read)
+        except OSError as exc:
+            raise ServicedError(f"cannot read from daemon: {exc}") from exc
+        if frame is None:
+            raise ServicedError("daemon closed the connection")
+        return frame
+
+    def _roundtrip(self, payload: dict) -> dict:
+        self._send(encode_frame(payload))
+        response = self._read_response()
+        if response.get("id") != payload["id"]:
+            raise ServicedError(
+                f"daemon answered request {response.get('id')!r} "
+                f"out of order (expected {payload['id']})"
+            )
+        if not response.get("ok"):
+            raise ServicedError(
+                str(response.get("error", "daemon reported an unnamed error"))
+            )
+        return response
+
+    # -- queries -------------------------------------------------------------
+
+    def query(self, query: Query) -> dict:
+        """Answer one typed query (the answer dict alone)."""
+        return self._roundtrip(query_request(query, self._take_id()))["answer"]
+
+    def query_versioned(self, query: Query) -> tuple[dict, int]:
+        """One answer plus the report version that produced it."""
+        response = self._roundtrip(query_request(query, self._take_id()))
+        return response["answer"], int(response["version"])
+
+    def query_many(self, queries: Sequence[Query]) -> list[tuple[dict, int]]:
+        """Pipelined batch: send every frame, then collect every answer.
+
+        Responses may arrive in any order (server-side batches are
+        drained by a worker pool); they are matched back to their
+        request by id, so the returned list lines up with ``queries``.
+        """
+        ids = [self._take_id() for _ in queries]
+        self._send(
+            b"".join(
+                encode_frame(query_request(q, i)) for q, i in zip(queries, ids)
+            )
+        )
+        by_id: dict[int, dict] = {}
+        for _ in queries:
+            response = self._read_response()
+            by_id[response.get("id")] = response
+        results: list[tuple[dict, int]] = []
+        for query, request_id in zip(queries, ids):
+            response = by_id.get(request_id)
+            if response is None:
+                raise ServicedError(f"daemon never answered request {request_id}")
+            if not response.get("ok"):
+                raise ServicedError(
+                    f"query {type(query).__name__} failed: "
+                    f"{response.get('error', 'unnamed error')}"
+                )
+            results.append((response["answer"], int(response["version"])))
+        return results
+
+    # -- control -------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The daemon's SLO snapshot (metrics + served version)."""
+        return self._roundtrip(control_request("stats", self._take_id()))["stats"]
+
+    def ping(self) -> dict:
+        """Liveness probe: served version/digest and drain state."""
+        return self._roundtrip(control_request("ping", self._take_id()))
+
+    def reload(self) -> bool:
+        """Force one hot-reload check; True when a swap happened."""
+        return bool(
+            self._roundtrip(control_request("reload", self._take_id()))["reloaded"]
+        )
+
+    def drain(self) -> None:
+        """Ask the daemon to drain and shut down (acknowledged)."""
+        self._roundtrip(control_request("drain", self._take_id()))
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServicedClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,236 @@
+"""Integration: daemon hot-reload correctness and the CLI lifecycle.
+
+The hot-reload drill is the snapshot-swap model's acceptance test: N
+client threads hammer a registry-backed daemon while a publisher
+concurrently stores K new report versions whose communication answers
+*differ* per version.  Every response carries the version that produced
+it, so the drill can assert the strong invariant — each answer matches
+the published report of exactly the version it claims, never a blend of
+two (a torn snapshot) — across many seeds' worth of interleavings, and
+that the daemon ends up serving the newest version.
+
+The subprocess test is the deployment smoke: ``servet serve --listen``
+comes up, prints its bound port, answers ``servet query --remote``, and
+drains to a clean exit 0 on the drain control request.
+"""
+
+import copy
+import json
+import os
+import random
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro import ServetSuite, SimulatedBackend, dempsey
+from repro.autotune import Advisor
+from repro.core.report import ServetReport
+from repro.ioutils import canonical_json
+from repro.service import ReportRegistry, fingerprint_of
+from repro.service.server import answer, default_query_pool
+from repro.serviced import ServicedClient, TuningDaemon
+from repro.serviced.protocol import encode_query
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: Latency scale factor per published version (v1 is the measured base).
+VERSION_FACTORS = (1.0, 1.25, 1.5, 2.0)
+
+SEEDS = range(24)
+
+
+def scaled_report(base: ServetReport, factor: float) -> ServetReport:
+    """The base report with every communication latency scaled.
+
+    Scaling the characterization tables moves the CommLatencyQuery and
+    AggregationQuery answers, which is exactly what the drill needs:
+    distinguishable versions, so a torn answer cannot masquerade as a
+    valid one.
+    """
+    d = copy.deepcopy(base.to_dict())
+    for layer in d["comm_layers"]:
+        layer["latency"] *= factor
+        layer["characterization"] = [
+            [size, lat * factor, bw / factor]
+            for size, lat, bw in layer["characterization"]
+        ]
+        layer["scalability"] = [
+            [n, lat * factor, ratio] for n, lat, ratio in layer["scalability"]
+        ]
+    return ServetReport.from_dict(d)
+
+
+@pytest.fixture(scope="module")
+def versions():
+    """Base report, its fingerprint, the K variants, and per-version
+    reference answers keyed by canonical query encoding."""
+    backend = SimulatedBackend(dempsey(), seed=7, noise=0.0)
+    base = ServetSuite(backend).run()
+    fingerprint = fingerprint_of(backend)
+    reports = [scaled_report(base, f) for f in VERSION_FACTORS]
+    pool = default_query_pool(base)
+    refs = {}
+    for index, report in enumerate(reports, start=1):
+        advisor = Advisor(report)
+        refs[index] = {
+            canonical_json(encode_query(q)): answer(advisor, q) for q in pool
+        }
+    # The drill only detects torn snapshots if versions disagree.
+    assert refs[1] != refs[len(reports)]
+    return fingerprint, reports, pool, refs
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_hot_reload_never_tears_answers(versions, tmp_path, seed):
+    fingerprint, reports, pool, refs = versions
+    registry = ReportRegistry(tmp_path / "registry")
+    registry.put(fingerprint, reports[0])
+
+    rng = random.Random(seed)
+    records = []
+    record_lock = threading.Lock()
+    publishing = threading.Event()
+    mistakes = []
+
+    with TuningDaemon(
+        registry=registry,
+        workers=1 + seed % 3,
+        batch_max=4 + seed % 13,
+        poll_interval=0.005,
+    ) as daemon:
+
+        def publisher():
+            for report in reports[1:]:
+                # Seed-derived jitter shifts where each swap lands
+                # relative to the clients' windows.
+                threading.Event().wait(rng.uniform(0.002, 0.02))
+                registry.put(fingerprint, report)
+            publishing.set()
+
+        def client(client_seed):
+            crng = random.Random(client_seed)
+            with ServicedClient(daemon.host, daemon.port) as c:
+                while True:
+                    finish = publishing.is_set()
+                    picks = [crng.choice(pool) for _ in range(12)]
+                    try:
+                        results = c.query_many(picks)
+                    except Exception as exc:  # noqa: BLE001
+                        mistakes.append(f"client error: {exc}")
+                        return
+                    with record_lock:
+                        records.extend(zip(picks, results))
+                    if finish:
+                        return
+
+        pub = threading.Thread(target=publisher)
+        clients = [
+            threading.Thread(target=client, args=(1000 * seed + i,))
+            for i in range(3)
+        ]
+        pub.start()
+        for t in clients:
+            t.start()
+        pub.join()
+        for t in clients:
+            t.join()
+
+        assert not mistakes, mistakes[:3]
+
+        # After the dust settles the daemon must serve the newest
+        # published version (a forced check is deterministic, unlike
+        # waiting out the poll interval).
+        with ServicedClient(daemon.host, daemon.port) as c:
+            c.reload()
+            _, final_version = c.query_versioned(pool[0])
+        assert final_version == len(reports)
+
+    # The strong invariant: every answer is exactly the published
+    # answer of the version it claims — no response ever mixes two
+    # snapshots, no version outside the published set ever appears.
+    assert records
+    seen_versions = set()
+    for query, (got, version) in records:
+        assert version in refs, f"unpublished version {version}"
+        expected = refs[version][canonical_json(encode_query(query))]
+        assert got == expected, (
+            f"seed {seed}: torn answer at v{version} for {query}: "
+            f"{got} != {expected}"
+        )
+        seen_versions.add(version)
+    # The drill must actually have crossed a swap: clients keep
+    # querying until after the last publish, so at least the first and
+    # last versions show up.
+    assert len(seen_versions) >= 2, f"only saw versions {seen_versions}"
+
+
+def test_cli_daemon_smoke_serve_query_drain(tmp_path):
+    """Start ``servet serve --listen``, query it remotely, drain, exit 0."""
+    backend = SimulatedBackend(dempsey(), seed=7, noise=0.0)
+    report_path = tmp_path / "report.json"
+    ServetSuite(backend).run().save(report_path)
+
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC) if not existing else str(SRC) + os.pathsep + existing
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--report",
+            str(report_path),
+            "--workers",
+            "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        # The parseable contract: second line names the bound address.
+        banner = proc.stdout.readline()
+        assert "tuning daemon for dempsey" in banner
+        listening = proc.stdout.readline()
+        assert listening.startswith("listening on ")
+        host, _, port = listening.split()[-1].rpartition(":")
+
+        query = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "query",
+                "-",
+                "matmul-tile",
+                "--level",
+                "1",
+                "--remote",
+                f"{host}:{port}",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env=env,
+        )
+        assert query.returncode == 0, query.stderr
+        assert json.loads(query.stdout)["side"] > 0
+
+        with ServicedClient(host, int(port)) as client:
+            client.drain()
+        out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, err
+        assert "drained: served" in out
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()

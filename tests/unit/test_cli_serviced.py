@@ -1,0 +1,153 @@
+"""Unit tests for the daemon-facing CLI: ``query --remote`` and address
+parsing.  Every failure mode must come out as a clean ``error:`` exit,
+never a traceback."""
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ServicedError
+from repro.serviced import TuningDaemon
+
+
+@pytest.fixture(scope="module")
+def daemon(dunnington_report):
+    with TuningDaemon(report=dunnington_report, workers=2) as d:
+        yield d
+
+
+def test_query_remote_returns_json(daemon, capsys):
+    code = main(
+        [
+            "query",
+            "-",
+            "matmul-tile",
+            "--level",
+            "2",
+            "--remote",
+            f"{daemon.host}:{daemon.port}",
+        ]
+    )
+    assert code == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["side"] > 0
+
+
+def test_query_remote_latency_pair(daemon, capsys):
+    code = main(
+        [
+            "query",
+            "-",
+            "latency",
+            "--pair",
+            "0,1",
+            "--size",
+            "4096",
+            "--remote",
+            f"{daemon.host}:{daemon.port}",
+        ]
+    )
+    assert code == 0
+    assert json.loads(capsys.readouterr().out)["latency"] > 0
+
+
+def test_connection_refused_is_clean_error(capsys):
+    # Grab a port the kernel just released: nothing listens on it.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    code = main(["query", "-", "tile", "--remote", f"127.0.0.1:{port}"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "cannot connect to tuning daemon" in err
+
+
+def test_malformed_response_frame_is_clean_error(capsys):
+    # A server that answers with bytes that are not JSON: the client
+    # must diagnose the frame, and the CLI must exit via ``error:``.
+    listener = socket.create_server(("127.0.0.1", 0))
+    port = listener.getsockname()[1]
+
+    def bad_server():
+        conn, _ = listener.accept()
+        conn.recv(4096)  # swallow the request
+        body = b"\xffnot json"
+        conn.sendall(struct.pack(">I", len(body)) + body)
+        conn.close()
+
+    thread = threading.Thread(target=bad_server, daemon=True)
+    thread.start()
+    try:
+        code = main(["query", "-", "tile", "--remote", f"127.0.0.1:{port}"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "malformed frame payload" in err
+    finally:
+        thread.join(timeout=5)
+        listener.close()
+
+
+def test_server_hangup_midframe_is_clean_error(capsys):
+    # Length prefix promises 100 bytes, the server hangs up after 3.
+    listener = socket.create_server(("127.0.0.1", 0))
+    port = listener.getsockname()[1]
+
+    def flaky_server():
+        conn, _ = listener.accept()
+        conn.recv(4096)
+        conn.sendall(struct.pack(">I", 100) + b"abc")
+        conn.close()
+
+    thread = threading.Thread(target=flaky_server, daemon=True)
+    thread.start()
+    try:
+        code = main(["query", "-", "tile", "--remote", f"127.0.0.1:{port}"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "mid-frame" in err
+    finally:
+        thread.join(timeout=5)
+        listener.close()
+
+
+@pytest.mark.parametrize("spec", ["nocolon", ":7777", "host:notaport"])
+def test_bad_remote_address_is_clean_error(spec, capsys):
+    assert main(["query", "-", "tile", "--remote", spec]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+
+
+def test_daemon_error_answer_is_clean_error(daemon, capsys):
+    # The daemon answers ok=false for an impossible query; the CLI must
+    # relay that as error:, not crash on a missing "answer" key.
+    code = main(
+        [
+            "query",
+            "-",
+            "tile",
+            "--level",
+            "99",
+            "--remote",
+            f"{daemon.host}:{daemon.port}",
+        ]
+    )
+    assert code == 1
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_parse_hostport_roundtrip():
+    from repro.cli import _parse_hostport
+
+    assert _parse_hostport("127.0.0.1:7777") == ("127.0.0.1", 7777)
+    with pytest.raises(ServicedError, match="not HOST:PORT"):
+        _parse_hostport("7777")
+    with pytest.raises(ServicedError, match="non-numeric port"):
+        _parse_hostport("host:seven")

@@ -148,6 +148,57 @@ def test_gc_keeps_newest_and_sweeps_quarantine(registry, small_report):
         registry.gc(keep=0)
 
 
+def test_latest_version_is_a_stat_probe(registry, small_report, monkeypatch):
+    """Satellite: the watcher's version probe never reads payloads."""
+    report, fp = small_report
+    assert registry.latest_version(fp.digest) == 0  # nothing stored yet
+    registry.put(fp, report)
+    registry.put(fp, report)
+    assert registry.latest_version(fp.digest) == 2
+    assert registry.latest_version(fp.digest[:10]) == 2
+
+    # Prove no file payload is opened: corrupt every stored version;
+    # the name-based probe must still answer (get() would quarantine).
+    for entry in registry.entries(fp.digest):
+        entry.path.write_text("garbage")
+    assert registry.latest_version(fp.digest) == 2
+
+
+def test_latest_version_rejects_latest_spec(registry):
+    with pytest.raises(RegistryError, match="needs a digest"):
+        registry.latest_version("latest")
+
+
+def test_latest_version_ambiguous_prefix(registry, small_report):
+    report, fp = small_report
+    registry.put(fp, report)
+    other = registry.root / ("0" * 64)
+    other.mkdir(parents=True)
+    with pytest.raises(RegistryError, match="ambiguous"):
+        registry.latest_version("")
+
+
+def test_latest_version_unknown_digest_is_zero(registry):
+    assert registry.latest_version("f" * 64) == 0
+
+
+def test_refresh_refuses_empty_digest_dir(registry, small_report, tmp_path):
+    """incremental_refresh probes latest_version before any payload
+    work: a digest directory holding only metadata fails with a clear
+    message instead of a deep registry error."""
+    from repro import SimulatedBackend, dempsey
+    from repro.errors import ServiceError
+    from repro.service.staleness import incremental_refresh
+
+    report, fp = small_report
+    registry.put(fp, report)
+    entry = registry.get_entry(fp.digest)
+    entry.path.unlink()  # meta.json survives, versions are gone
+    backend = SimulatedBackend(dempsey(), seed=3, noise=0.0)
+    with pytest.raises(ServiceError, match="no stored versions"):
+        incremental_refresh(registry, backend, base=fp.digest)
+
+
 def test_checksum_is_canonical():
     assert report_checksum({"b": 1, "a": 2}) == report_checksum({"a": 2, "b": 1})
 

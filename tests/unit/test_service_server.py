@@ -9,6 +9,7 @@ from repro.service.server import (
     CommLatencyQuery,
     LRUTTLCache,
     MatmulTileQuery,
+    SingleFlightTable,
     StreamingCoresQuery,
     TileQuery,
     TuningService,
@@ -120,6 +121,99 @@ def test_ttl_service_recomputes_after_expiry(dunnington_report):
     second = service.query(query)
     assert first == second  # recomputed, not wrong
     assert service.metrics()["misses"] == 2
+
+
+# -- bounded single-flight table ------------------------------------------
+
+
+def test_single_flight_entries_recycle():
+    table = SingleFlightTable(cap=8)
+    with table.flight("a"):
+        assert table.live() == 1
+    # The entry is reclaimed the moment its last holder leaves, so a
+    # stream of distinct keys never grows the table.
+    for key in range(100):
+        with table.flight(key):
+            pass
+    assert table.live() == 0
+    assert table.peak <= 8
+    assert table.fallbacks == 0
+
+
+def test_single_flight_memory_stays_bounded_under_concurrency():
+    """Regression for the bound: 16 threads x 500 distinct keys each
+    must never hold more than ``cap`` live entries, spilling to the
+    fixed stripe array beyond that instead of growing."""
+    import threading
+
+    table = SingleFlightTable(cap=32)
+    peak_violation = []
+
+    def churn(base):
+        for i in range(500):
+            with table.flight((base, i % 40)):
+                if table.live() > 32:
+                    peak_violation.append(table.live())
+
+    threads = [threading.Thread(target=churn, args=(t,)) for t in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not peak_violation
+    assert table.peak <= 32
+    assert table.live() == 0
+
+
+def test_single_flight_fallback_still_excludes():
+    # cap=1: the second concurrent key cannot get its own entry and must
+    # take a stripe lock — correctness (mutual exclusion per stripe) is
+    # preserved, and the spill is counted.
+    table = SingleFlightTable(cap=1)
+    with table.flight("pinned"):
+        with table.flight("spilled"):
+            pass
+    assert table.fallbacks == 1
+    assert table.live() == 0
+
+
+def test_single_flight_same_key_shares_entry():
+    import threading
+
+    table = SingleFlightTable(cap=4)
+    order = []
+    gate = threading.Barrier(2)
+
+    def hold():
+        gate.wait()
+        with table.flight("k"):
+            order.append("enter")
+            order.append("exit")
+
+    threads = [threading.Thread(target=hold) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Mutual exclusion: enters and exits strictly alternate.
+    assert order == ["enter", "exit", "enter", "exit"]
+    assert table.peak == 1
+
+
+def test_service_accepts_single_flight_cap(dunnington_report):
+    service = TuningService(dunnington_report, single_flight_cap=2)
+    assert service.single_flight.cap == 2
+    for query in default_query_pool(dunnington_report):
+        service.query(query)
+    assert service.single_flight.live() == 0
+    assert service.single_flight.peak <= 2
+
+
+def test_single_flight_rejects_bad_shape():
+    with pytest.raises(ServiceError):
+        SingleFlightTable(cap=0)
+    with pytest.raises(ServiceError):
+        SingleFlightTable(stripes=0)
 
 
 # -- the deterministic concurrent harness --------------------------------

@@ -1,0 +1,221 @@
+"""Unit tests for the tuning daemon: serving, batching, control, drain.
+
+Everything runs over real loopback sockets against a report-backed
+daemon (no registry, so no watcher thread) — the hot-reload behaviour
+has its own integration drill in
+``tests/integration/test_serviced_reload.py``.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.autotune import Advisor
+from repro.errors import ServicedError
+from repro.service.server import (
+    MatmulTileQuery,
+    TileQuery,
+    answer,
+    default_query_pool,
+)
+from repro.serviced import ServicedClient, TuningDaemon
+from repro.serviced.protocol import encode_frame
+
+
+@pytest.fixture(scope="module")
+def daemon(dunnington_report):
+    with TuningDaemon(report=dunnington_report, workers=2) as d:
+        yield d
+
+
+@pytest.fixture
+def client(daemon):
+    with ServicedClient(daemon.host, daemon.port) as c:
+        yield c
+
+
+# -- serving correctness -------------------------------------------------
+
+
+def test_every_pool_query_matches_uncached_reference(daemon, client, dunnington_report):
+    reference = Advisor(dunnington_report)
+    for query in default_query_pool(dunnington_report):
+        assert client.query(query) == answer(reference, query)
+
+
+def test_query_versioned_reports_file_snapshot(client):
+    answer_dict, version = client.query_versioned(MatmulTileQuery(level=1))
+    assert answer_dict["side"] > 0
+    assert version == 0  # report-backed daemon serves version 0
+
+
+def test_pipelined_query_many_lines_up(daemon, client, dunnington_report):
+    pool = default_query_pool(dunnington_report)
+    reference = Advisor(dunnington_report)
+    results = client.query_many(pool * 3)
+    assert len(results) == 3 * len(pool)
+    for query, (got, _version) in zip(pool * 3, results):
+        assert got == answer(reference, query)
+
+
+def test_ping_reports_version_and_digest(client, daemon):
+    pong = client.ping()
+    assert pong["version"] == 0
+    assert pong["digest"] == daemon.digest
+    assert pong["draining"] is False
+
+
+def test_stats_exposes_daemon_and_service_metrics(client, dunnington_report):
+    client.query(TileQuery(level=1))
+    stats = client.stats()
+    assert stats["version"] == 0
+    assert stats["service"]["queries"] >= 1
+    counters = stats["daemon"]["counters"]
+    assert counters['serviced.requests{kind="query"}'] >= 1
+    assert counters['serviced.requests{kind="stats"}'] >= 1
+    assert "serviced.request_latency_seconds" in stats["daemon"]["histograms"]
+
+
+def test_batch_coalesces_identical_queries(dunnington_report):
+    # White-box: hand one worker batch of 12 identical queries straight
+    # to _process_batch — they must collapse to one service lookup, and
+    # every client still gets its own response frame.
+    from repro.serviced.daemon import _Connection
+    from repro.serviced.protocol import read_frame
+
+    d = TuningDaemon(report=dunnington_report, workers=1, batch_max=32)
+    left, right = socket.socketpair()
+    try:
+        conn = _Connection(right)
+        query = MatmulTileQuery(level=2)
+        batch = [(conn, rid, query, 0.0) for rid in range(12)]
+        for item in batch:
+            d._queue.put(item)
+        d._process_batch(batch)
+        rfile = left.makefile("rb")
+        responses = [read_frame(rfile.read) for _ in range(12)]
+        assert sorted(r["id"] for r in responses) == list(range(12))
+        assert len({str(r["answer"]) for r in responses}) == 1
+        assert all(r["version"] == 0 for r in responses)
+        assert d.metrics.value("counter", "service.queries", result="miss") == 1
+        assert d.metrics.value("counter", "serviced.coalesced_requests") == 11
+        assert d.metrics.value("histogram", "serviced.batch_size") == 1
+    finally:
+        left.close()
+        right.close()
+
+
+def test_error_answers_keep_worker_alive(client):
+    # An out-of-range query must error the one request, not the daemon.
+    with pytest.raises(ServicedError):
+        client.query(TileQuery(level=99))
+    assert client.query(MatmulTileQuery(level=1))["side"] > 0
+
+
+def test_unknown_request_kind_is_diagnosed(daemon):
+    with ServicedClient(daemon.host, daemon.port) as c:
+        c._send(encode_frame({"kind": "teleport", "id": 1}))
+        response = c._read_response()
+    assert response["ok"] is False
+    assert "unknown request kind" in response["error"]
+
+
+def test_malformed_frame_gets_error_then_hangup(daemon):
+    sock = socket.create_connection((daemon.host, daemon.port))
+    rfile = sock.makefile("rb")
+    body = b"{broken"
+    sock.sendall(struct.pack(">I", len(body)) + body)
+    header = rfile.read(4)
+    (length,) = struct.unpack(">I", header)
+    assert b"malformed frame payload" in rfile.read(length)
+    assert rfile.read(1) == b""  # daemon hung up after diagnosing
+    sock.close()
+
+
+def test_oversize_frame_rejected_without_allocation(daemon):
+    sock = socket.create_connection((daemon.host, daemon.port))
+    rfile = sock.makefile("rb")
+    sock.sendall(struct.pack(">I", (1 << 20) + 1))
+    header = rfile.read(4)
+    (length,) = struct.unpack(">I", header)
+    assert b"exceeds" in rfile.read(length)
+    sock.close()
+
+
+# -- lifecycle -----------------------------------------------------------
+
+
+def test_constructor_validates_shape(dunnington_report):
+    with pytest.raises(ServicedError, match="exactly one"):
+        TuningDaemon()
+    with pytest.raises(ServicedError, match="workers"):
+        TuningDaemon(report=dunnington_report, workers=0)
+    with pytest.raises(ServicedError, match="batch_max"):
+        TuningDaemon(report=dunnington_report, batch_max=0)
+
+
+def test_drain_via_control_request_stops_daemon(dunnington_report):
+    d = TuningDaemon(report=dunnington_report, workers=2).start()
+    with ServicedClient(d.host, d.port) as c:
+        c.drain()
+    assert d.wait(timeout=10.0)
+    assert d.draining
+
+
+def test_drain_answers_inflight_then_refuses_new(dunnington_report):
+    # Queries pipelined *before* the drain request on the same
+    # connection must all be answered; queries after it are refused.
+    d = TuningDaemon(report=dunnington_report, workers=1, batch_max=4).start()
+    reference = Advisor(dunnington_report)
+    pool = default_query_pool(dunnington_report)
+    with ServicedClient(d.host, d.port) as c:
+        results = c.query_many(pool)
+        for query, (got, _v) in zip(pool, results):
+            assert got == answer(reference, query)
+        c.drain()
+    assert d.wait(timeout=10.0)
+    with pytest.raises(ServicedError, match="cannot connect|closed|send"):
+        with ServicedClient(d.host, d.port) as late:
+            late.query(pool[0])
+
+
+def test_drain_is_idempotent(dunnington_report):
+    d = TuningDaemon(report=dunnington_report).start()
+    d.drain(wait=False)
+    d.drain(wait=True, timeout=10.0)
+    d.drain(wait=True, timeout=10.0)
+    assert d.wait(0)
+
+
+def test_concurrent_clients_all_match(daemon, dunnington_report):
+    pool = default_query_pool(dunnington_report)
+    reference = {str(q): answer(Advisor(dunnington_report), q) for q in pool}
+    mismatches = []
+
+    def hammer(seed):
+        import random
+
+        rng = random.Random(seed)
+        with ServicedClient(daemon.host, daemon.port) as c:
+            picks = [rng.choice(pool) for _ in range(40)]
+            for query, (got, _v) in zip(picks, c.query_many(picks)):
+                if got != reference[str(query)]:
+                    mismatches.append(query)
+
+    threads = [threading.Thread(target=hammer, args=(s,)) for s in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not mismatches
+
+
+def test_uninstrumented_daemon_serves_and_skips_metrics(dunnington_report):
+    with TuningDaemon(report=dunnington_report, instrument=False) as d:
+        with ServicedClient(d.host, d.port) as c:
+            assert c.query(MatmulTileQuery(level=1))["side"] > 0
+            stats = c.stats()
+    assert "daemon" not in stats
+    assert d.metrics.value("counter", "serviced.requests", kind="query") == 0
