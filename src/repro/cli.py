@@ -22,6 +22,11 @@ Subcommands:
   characterization of a whole fleet: dedup machines by hardware class,
   survive worker crashes via leases and bounded retries, checkpoint
   and resume, and report per-machine health.
+- ``servet zoo generate|recover|sweep`` — seeded machines from families
+  the paper never measured (exclusive/victim caches, sectored lines,
+  odd associativity, sub-NUMA cells, big.LITTLE cores, multi-NIC and
+  oversubscribed interconnects), plus the blind-recovery harness that
+  scores every detected parameter against frozen ground truth.
 """
 
 from __future__ import annotations
@@ -68,6 +73,13 @@ from .service import (
     run_harness,
 )
 from .serviced import ServicedClient, TuningDaemon
+from .zoo import (
+    generate_machine,
+    generate_zoo,
+    recover_all,
+    recover_machine,
+)
+from .zoo import family_names as zoo_family_names
 from .topology import (
     Cluster,
     build_machine,
@@ -535,6 +547,66 @@ def _build_parser() -> argparse.ArgumentParser:
         "path",
         help="fleet report JSON, or a store directory containing "
         "fleet_report.json",
+    )
+
+    zoo = sub.add_parser(
+        "zoo",
+        help="generate off-paper machines and verify blind recovery "
+        "against their frozen ground truth",
+    )
+    zoo_sub = zoo.add_subparsers(dest="zoo_command", required=True)
+
+    zgen = zoo_sub.add_parser(
+        "generate",
+        help="write one generated machine (cluster + comm + ground truth)",
+    )
+    zgen.add_argument(
+        "--family",
+        required=True,
+        help=f"one of: {', '.join(zoo_family_names())}",
+    )
+    zgen.add_argument("--seed", type=int, default=0, help="machine seed")
+    zgen.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write machine JSON here (default: print the ground truth)",
+    )
+
+    zrec = zoo_sub.add_parser(
+        "recover",
+        help="run the blind suite on one generated machine and score it",
+    )
+    zrec.add_argument(
+        "--family",
+        required=True,
+        help=f"one of: {', '.join(zoo_family_names())}",
+    )
+    zrec.add_argument("--seed", type=int, default=0, help="machine seed")
+    zrec.add_argument(
+        "--noise", type=float, default=0.0, help="backend noise (default 0)"
+    )
+    zrec.add_argument(
+        "--json", action="store_true", help="print the full verdict JSON"
+    )
+
+    zsweep = zoo_sub.add_parser(
+        "sweep",
+        help="recover many machines per family; any WRONG fails the run",
+    )
+    zsweep.add_argument(
+        "--families",
+        default=None,
+        help="comma-separated family list (default: all)",
+    )
+    zsweep.add_argument(
+        "--seeds", type=int, default=25, help="machines per family (default 25)"
+    )
+    zsweep.add_argument(
+        "--noise", type=float, default=0.0, help="backend noise (default 0)"
+    )
+    zsweep.add_argument(
+        "-o", "--output", default=None, help="write the sweep report JSON here"
     )
 
     val = sub.add_parser(
@@ -1044,6 +1116,47 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     raise AssertionError("unreachable")
 
 
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    if args.zoo_command == "generate":
+        gm = generate_machine(args.family, args.seed)
+        if args.output:
+            save_cluster(gm.cluster, args.output, comm=gm.comm)
+            print(f"machine description written to {args.output}")
+        print(json.dumps(gm.truth.to_dict(), indent=2))
+        return 0
+    if args.zoo_command == "recover":
+        gm = generate_machine(args.family, args.seed)
+        result = recover_machine(gm, noise=args.noise)
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2))
+        else:
+            counts = result.counts()
+            print(
+                f"{result.machine_name}: "
+                + ", ".join(f"{k}={v}" for k, v in counts.items())
+            )
+            for v in result.verdicts:
+                detail = f" ({v.reason})" if v.reason else ""
+                print(f"  {v.verdict:12s} {v.parameter}{detail}")
+        return 0 if result.ok else 1
+    if args.zoo_command == "sweep":
+        families = (
+            [f.strip() for f in args.families.split(",") if f.strip()]
+            if args.families
+            else None
+        )
+        machines = generate_zoo(families=families, seeds=args.seeds)
+        report = recover_all(machines, noise=args.noise)
+        print(report.summary())
+        if args.output:
+            Path(args.output).write_text(
+                json.dumps(report.to_dict(), indent=2) + "\n"
+            )
+            print(f"sweep report written to {args.output}")
+        return 0 if report.ok else 1
+    raise AssertionError("unreachable")
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     report = _load_report_arg(args.path, args.registry)
     print(explain(report, args.parameter))
@@ -1090,6 +1203,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_registry(args)
         if args.command == "fleet":
             return _cmd_fleet(args)
+        if args.command == "zoo":
+            return _cmd_zoo(args)
         if args.command == "explain":
             return _cmd_explain(args)
         if args.command == "trace":

@@ -90,12 +90,27 @@ def detect_shared_caches(
     if cores is None:
         cores = list(range(backend.n_cores))
     if len(cores) < 2:
-        # A unicore machine shares nothing; keep the shape consistent.
+        # A unicore machine shares nothing; keep the shape consistent
+        # and leave an explicit give-up trail instead of silence.
         return SharedCacheResult(
             cache_sizes=list(cache_sizes),
             shared_pairs=[[] for _ in cache_sizes],
             ratios=[{} for _ in cache_sizes],
             references=[float("nan") for _ in cache_sizes],
+            provenance=[
+                ParameterProvenance(
+                    parameter=f"cache.L{level}.sharing",
+                    value=None,
+                    method="undetectable",
+                    probes=[],
+                    measurements={},
+                    note=(
+                        "undetectable: sharing needs at least two cores "
+                        f"({len(cores)} available)"
+                    ),
+                )
+                for level in range(1, len(cache_sizes) + 1)
+            ],
         )
 
     executor = planner if planner is not None else PlanExecutor(backend)

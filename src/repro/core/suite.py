@@ -388,6 +388,42 @@ class ServetSuite:
                 ],
                 phase="tlb_detection",
             )
+        else:
+            # Detector give-up: record *why* there is no number instead
+            # of silently omitting the parameter (queryable via
+            # ``servet explain tlb.entries``).
+            sweep = tlb.mcalibrator
+            pids = _window_probe_ids(sweep, 0, len(sweep.sizes))
+            if tlb.discounted_regions:
+                reason = (
+                    "undetectable: every rise in the one-line-per-page "
+                    f"sweep (stride {sweep.stride}) sat on a cache-capacity "
+                    f"cliff (discounted regions {tlb.discounted_regions})"
+                )
+            else:
+                reason = (
+                    "undetectable: the one-line-per-page sweep (stride "
+                    f"{sweep.stride}) shows no TLB cliff up to "
+                    f"{int(sweep.sizes[-1])} pages; TLB reach exceeds the "
+                    "probed range"
+                )
+            record_provenance(
+                report,
+                [
+                    ParameterProvenance(
+                        parameter="tlb.entries",
+                        value=None,
+                        method="undetectable",
+                        probes=pids,
+                        measurements={
+                            pid: float(c)
+                            for pid, c in zip(pids, sweep.cycles)
+                        },
+                        note=reason,
+                    )
+                ],
+                phase="tlb_detection",
+            )
 
     def _phase_memory(self, report: ServetReport) -> None:
         memory = characterize_memory_overhead(

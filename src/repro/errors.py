@@ -21,6 +21,16 @@ class ConfigurationError(ReproError):
     """
 
 
+class TopologyError(ConfigurationError):
+    """A machine description uses a topology feature we cannot parse.
+
+    Raised when loading a serialized machine that names an unknown
+    cache-organization tag or core-class layout, so forward-incompatible
+    files fail with the offending tag in the message instead of a bare
+    ``KeyError``.
+    """
+
+
 class MeasurementError(ReproError):
     """A benchmark measurement could not be carried out.
 

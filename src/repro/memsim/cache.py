@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from collections.abc import Iterable, Sequence
 
 from ..errors import ConfigurationError
-from ..topology.cache import CacheSpec, Indexing
+from ..topology.cache import CacheOrganization, CacheSpec, Indexing
 from ..topology.machine import Machine
 
 
@@ -53,6 +53,34 @@ class SetAssociativeCache:
     def contains(self, set_index: int, key: object) -> bool:
         """Non-mutating presence check."""
         return key in self._sets[set_index % self.num_sets]
+
+    def evict(self, set_index: int, key: object) -> bool:
+        """Remove ``key`` if present; return True if it was resident.
+
+        Used by the exclusive fill path: a hit at an exclusive level
+        migrates the line inward, so it must leave this level.
+        """
+        lines = self._sets[set_index % self.num_sets]
+        try:
+            lines.remove(key)
+            return True
+        except ValueError:
+            return False
+
+    def install(self, set_index: int, key: object) -> object | None:
+        """Insert ``key`` as MRU; return the displaced LRU key, if any.
+
+        Unlike :meth:`access` this surfaces the victim of a full set, so
+        callers can hand it down to an exclusive/victim level.
+        """
+        lines = self._sets[set_index % self.num_sets]
+        try:
+            lines.remove(key)
+            evicted = None
+        except ValueError:
+            evicted = lines.pop(0) if len(lines) >= self.ways else None
+        lines.append(key)
+        return evicted
 
     def occupancy(self, set_index: int) -> int:
         """Number of valid lines currently in the set."""
@@ -127,6 +155,10 @@ class MultiLevelSimulator:
             self._caches.append(
                 [SetAssociativeCache(spec.num_sets, spec.ways) for _ in level.groups]
             )
+        self._has_exclusive = any(
+            level.spec.organization is CacheOrganization.EXCLUSIVE
+            for level in machine.levels
+        )
 
     def _cache_for(self, level_idx: int, core: int) -> SetAssociativeCache:
         level = self.machine.levels[level_idx]
@@ -135,7 +167,16 @@ class MultiLevelSimulator:
     @staticmethod
     def _set_index(spec: CacheSpec, access: TraceAccess) -> int:
         line = access.vline if spec.indexing is Indexing.VIRTUAL else access.pline
-        return int(line) % spec.num_sets
+        # Sectored caches tag whole sectors, so the set index works at
+        # sector granularity (sector_lines == 1 is the plain line math).
+        return (int(line) // spec.sector_lines) % spec.num_sets
+
+    @staticmethod
+    def _line_key(spec: CacheSpec, access: TraceAccess) -> tuple:
+        """Residency key at this level's tag granularity."""
+        if spec.sector_lines == 1:
+            return (access.core, access.vline)
+        return (access.core, access.vline // spec.sector_lines, "sector")
 
     def access(self, access: TraceAccess) -> tuple[float, int | None]:
         """Issue one access; return ``(cycles, hit_level)``.
@@ -143,24 +184,78 @@ class MultiLevelSimulator:
         ``hit_level`` is the 1-based level that served the access, or
         ``None`` for main memory.
         """
+        if self._has_exclusive:
+            return self._access_exclusive(access)
         cycles = 0.0
-        key = (access.core, access.vline)
-        missed_levels: list[tuple[SetAssociativeCache, int]] = []
         hit_level: int | None = None
         for level_idx, level in enumerate(self.machine.levels):
             spec = level.spec
             cache = self._cache_for(level_idx, access.core)
             set_index = self._set_index(spec, access)
             cycles += spec.latency
-            if cache.access(set_index, key):
+            if cache.access(set_index, self._line_key(spec, access)):
                 hit_level = spec.level
                 break
-            missed_levels.append((cache, set_index))
         else:
             cycles += self.machine.mem_latency
         # (lines were installed by ``access`` on miss already; nothing
-        # further to do for the inclusive-fill policy)
-        return cycles, hit_level
+        # further to do for the inclusive-fill policy.  A VICTIM level
+        # needs no special casing here: probe-and-install over a cyclic
+        # trace reaches the same steady state as catching evictions.)
+        return self._scaled(cycles, access.core), hit_level
+
+    def _access_exclusive(self, access: TraceAccess) -> tuple[float, int | None]:
+        """Probe path for machines with at least one exclusive level.
+
+        A hit at an exclusive level removes the line there (it migrates
+        inward; the probe already installed it at the inner levels), and
+        lines displaced from inner levels drop into the nearest outer
+        exclusive level instead of being silently discarded.
+        """
+        machine = self.machine
+        cycles = 0.0
+        hit_level: int | None = None
+        key = (access.core, access.vline, access.pline)
+        displaced: list[tuple[int, tuple]] = []
+        for level_idx, level in enumerate(machine.levels):
+            spec = level.spec
+            cache = self._cache_for(level_idx, access.core)
+            set_index = self._set_index(spec, access)
+            cycles += spec.latency
+            if spec.organization is CacheOrganization.EXCLUSIVE:
+                if cache.evict(set_index, key):
+                    hit_level = spec.level
+                    break
+            else:
+                if cache.contains(set_index, key):
+                    cache.access(set_index, key)
+                    hit_level = spec.level
+                    break
+                evicted = cache.install(set_index, key)
+                if evicted is not None:
+                    displaced.append((level_idx, evicted))
+        else:
+            cycles += machine.mem_latency
+        for from_idx, ekey in displaced:
+            self._drop_to_exclusive(from_idx, ekey)
+        return self._scaled(cycles, access.core), hit_level
+
+    def _drop_to_exclusive(self, from_idx: int, ekey: tuple) -> None:
+        """Install a displaced line at the nearest outer exclusive level."""
+        core, vline, pline = ekey
+        for out_idx in range(from_idx + 1, len(self.machine.levels)):
+            spec = self.machine.levels[out_idx].spec
+            if spec.organization is not CacheOrganization.EXCLUSIVE:
+                continue
+            line = vline if spec.indexing is Indexing.VIRTUAL else pline
+            set_index = (int(line) // spec.sector_lines) % spec.num_sets
+            self._cache_for(out_idx, core).install(set_index, ekey)
+            return
+
+    def _scaled(self, cycles: float, core: int) -> float:
+        if self.machine.core_classes is None:
+            return cycles
+        return cycles * self.machine.cycle_scale_of(core)
 
     def run(
         self,

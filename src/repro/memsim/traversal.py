@@ -38,7 +38,7 @@ import numpy as np
 from ..errors import MeasurementError
 from ..ioutils import sha256_hex
 from ..rng import ensure_rng, spawn
-from ..topology.cache import Indexing
+from ..topology.cache import CacheOrganization, Indexing
 from ..topology.machine import Machine
 from .outcome import GLOBAL_OUTCOME_CACHE, TraversalOutcomeCache, stream_identity
 from .paging import AddressSpace, PagePolicy, RandomPaging
@@ -333,6 +333,10 @@ class TraversalEngine:
         core_set = set(cores)
         for level_idx, level in enumerate(machine.levels):
             spec = level.spec
+            # Sectored caches keep one tag per sector, so their set
+            # index (and the cyclic-LRU load count) works at sector
+            # granularity; sector_lines == 1 reduces to the line math.
+            granule = line_size * spec.sector_lines
             # Set-index vectors are memoized per geometry (virtual) or
             # per shared placement (physical); only the bincount load
             # pass and the masked cost/active updates run per call.
@@ -340,11 +344,11 @@ class TraversalEngine:
             for t in traversals:
                 if spec.indexing is Indexing.VIRTUAL:
                     sets[t.core] = _virtual_sets_shared(
-                        t.array_bytes, t.stride, line_size, spec.num_sets
+                        t.array_bytes, t.stride, granule, spec.num_sets
                     )
                 else:
                     sets[t.core] = _space_sets(
-                        spaces[t.core], t.stride, line_size, spec.num_sets
+                        spaces[t.core], t.stride, granule, spec.num_sets
                     )
             for group in level.groups:
                 if core_set.isdisjoint(group):
@@ -354,7 +358,9 @@ class TraversalEngine:
                     continue
                 combined = np.concatenate([sets[c][active[c]] for c in members])
                 load = np.bincount(combined, minlength=spec.num_sets)
-                overloaded = load > spec.ways
+                overloaded = load > spec.ways + self._exclusive_extra_ways(
+                    level_idx, members
+                )
                 for c in members:
                     latency = spec.latency * (pf_factor[c] if level_idx > 0 else 1.0)
                     cost[c][active[c]] += latency
@@ -375,6 +381,12 @@ class TraversalEngine:
             t.core: float(cost[t.core].mean()) + tlb_extra[t.core]
             for t in traversals
         }
+        if machine.core_classes is not None:
+            # Heterogeneous (big.LITTLE-style) machines: a little core
+            # burns proportionally more cycles per access.
+            cycles = {
+                c: v * machine.cycle_scale_of(c) for c, v in cycles.items()
+            }
         seconds = {
             c: cycles[c] * n_accesses[c] / machine.clock_hz for c in cycles
         }
@@ -384,6 +396,31 @@ class TraversalEngine:
             n_accesses=dict(n_accesses),
             seconds_per_round=seconds,
         )
+
+    def _exclusive_extra_ways(self, level_idx: int, members: list[int]) -> int:
+        """Extra per-set capacity an exclusive level gains from inner levels.
+
+        An exclusive cache holds only lines absent from the levels
+        between it and the traversing cores, so the cyclic working set
+        effectively enjoys ``S_j + sum(inner instance sizes)`` bytes.
+        Expressed per set: ``ways + inner_tags / num_sets``.  Only the
+        inner instances of cores actually traversing count — an idle
+        core's L1 holds no lines of the measured working set.  Returns 0
+        for every non-exclusive level, keeping the default model intact.
+        """
+        spec = self.machine.levels[level_idx].spec
+        if spec.organization is not CacheOrganization.EXCLUSIVE:
+            return 0
+        inner_instances: set[tuple[int, int]] = set()
+        for i in range(level_idx):
+            level = self.machine.levels[i]
+            for c in members:
+                inner_instances.add((i, level.instance_index(c)))
+        inner_bytes = sum(
+            self.machine.levels[i].spec.size for i, _ in inner_instances
+        )
+        granule = self.machine.levels[0].spec.line_size * spec.sector_lines
+        return inner_bytes // (granule * spec.num_sets)
 
     def _tlb_cycles_per_access(self, traversal: Traversal) -> float:
         """Average page-walk cycles per access (memoized; see module fn)."""

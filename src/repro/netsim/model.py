@@ -48,6 +48,11 @@ class LayerParams:
         ``cache_capacity`` is set).
     contention_factor:
         ``gamma`` in the concurrency inflation ``1 + gamma * (N - 1)``.
+    nic_count:
+        Parallel interfaces serving this layer (multi-rail NICs).  ``N``
+        concurrent transfers spread round-robin over the rails, so only
+        ``ceil(N / nic_count)`` of them contend on any one rail; 1
+        reproduces the single-medium model exactly.
     """
 
     name: str
@@ -58,10 +63,13 @@ class LayerParams:
     cache_capacity: int | None = None
     mem_bandwidth: float | None = None
     contention_factor: float = 0.0
+    nic_count: int = 1
 
     def __post_init__(self) -> None:
         if self.base_latency < 0 or self.bandwidth <= 0:
             raise ConfigurationError(f"layer {self.name!r}: bad latency/bandwidth")
+        if self.nic_count < 1:
+            raise ConfigurationError(f"layer {self.name!r}: bad nic_count")
         if (self.cache_capacity is None) != (self.mem_bandwidth is None):
             raise ConfigurationError(
                 f"layer {self.name!r}: cache_capacity and mem_bandwidth "
@@ -96,7 +104,11 @@ class LayerParams:
         if concurrency < 1:
             raise MeasurementError("concurrency must be >= 1")
         transfer = nbytes / self.effective_bandwidth(nbytes)
-        transfer *= 1.0 + self.contention_factor * (concurrency - 1)
+        # Transfers spread over nic_count rails; each rail carries
+        # ceil(N / nic_count) of them.  nic_count == 1 is the original
+        # single-medium inflation 1 + gamma * (N - 1).
+        per_rail = -(-concurrency // self.nic_count)
+        transfer *= 1.0 + self.contention_factor * (per_rail - 1)
         t = self.base_latency + transfer
         if not self.is_eager(nbytes):
             t += self.rendezvous_latency

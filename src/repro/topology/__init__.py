@@ -6,8 +6,15 @@ blindly: cache specifications and sharing groups, processors, cells,
 memory bandwidth domains and multi-node clusters.
 """
 
-from .cache import CacheSpec, CacheLevel, Indexing
-from .machine import BandwidthDomain, Machine, Cluster, CorePair, all_pairs
+from .cache import CacheSpec, CacheLevel, CacheOrganization, Indexing
+from .machine import (
+    BandwidthDomain,
+    CoreClass,
+    Machine,
+    Cluster,
+    CorePair,
+    all_pairs,
+)
 from .serialization import (
     cluster_from_dict,
     cluster_to_dict,
@@ -30,8 +37,10 @@ from .builders import (
 __all__ = [
     "CacheSpec",
     "CacheLevel",
+    "CacheOrganization",
     "Indexing",
     "BandwidthDomain",
+    "CoreClass",
     "Machine",
     "Cluster",
     "CorePair",

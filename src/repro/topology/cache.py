@@ -34,6 +34,27 @@ class Indexing(enum.Enum):
     PHYSICAL = "physical"
 
 
+class CacheOrganization(enum.Enum):
+    """Fill/replacement discipline of a cache level.
+
+    ``INCLUSIVE`` is the classic model every paper machine uses: a line
+    brought into level *j* is also installed at all levels above it.
+
+    ``EXCLUSIVE`` levels hold only lines *not* present in the inner
+    levels they back (AMD-style L2/L3): a hit moves the line inward and
+    the inner evictee drops down, so the usable capacity seen by a
+    strided probe is the sum of this level and its inner levels.
+
+    ``VICTIM`` marks a small fully-associative buffer that catches inner
+    evictions (Jouppi's victim cache); it must have a single set
+    (``num_sets == 1``) and is exempt from the monotone-size rule.
+    """
+
+    INCLUSIVE = "inclusive"
+    EXCLUSIVE = "exclusive"
+    VICTIM = "victim"
+
+
 @dataclass(frozen=True)
 class CacheSpec:
     """Static description of one cache design.
@@ -54,6 +75,13 @@ class CacheSpec:
         Access cost in cycles charged when a request *reaches* this
         level.  An access that hits at level *j* costs the sum of the
         latencies of levels ``1..j``.
+    organization:
+        Fill discipline (see :class:`CacheOrganization`).  The default
+        ``INCLUSIVE`` reproduces the original model exactly.
+    sector_lines:
+        Lines per sector (power of two).  Sectored caches keep one tag
+        per sector, so the set index is computed at sector granularity:
+        ``num_sets = size / (ways * line_size * sector_lines)``.
     """
 
     level: int
@@ -62,6 +90,8 @@ class CacheSpec:
     line_size: int = 64
     indexing: Indexing = Indexing.PHYSICAL
     latency: float = 10.0
+    organization: CacheOrganization = CacheOrganization.INCLUSIVE
+    sector_lines: int = 1
 
     def __post_init__(self) -> None:
         if self.level < 1:
@@ -70,10 +100,14 @@ class CacheSpec:
             raise ConfigurationError("cache size and ways must be positive")
         if not is_power_of_two(self.line_size):
             raise ConfigurationError(f"line size {self.line_size} not a power of two")
-        if self.size % (self.ways * self.line_size) != 0:
+        if not is_power_of_two(self.sector_lines):
             raise ConfigurationError(
-                f"cache size {self.size} not divisible by ways*line "
-                f"({self.ways}*{self.line_size})"
+                f"sector_lines {self.sector_lines} not a power of two"
+            )
+        if self.size % (self.ways * self.line_size * self.sector_lines) != 0:
+            raise ConfigurationError(
+                f"cache size {self.size} not divisible by ways*line*sector "
+                f"({self.ways}*{self.line_size}*{self.sector_lines})"
             )
         if not is_power_of_two(self.num_sets):
             # Set indexing uses a modulo; non-power-of-two set counts do
@@ -81,13 +115,23 @@ class CacheSpec:
             raise ConfigurationError(
                 f"cache with {self.num_sets} sets: set count must be a power of two"
             )
+        if self.organization is CacheOrganization.VICTIM and self.num_sets != 1:
+            raise ConfigurationError(
+                f"victim cache must be fully associative (one set), "
+                f"got {self.num_sets} sets"
+            )
         if self.latency < 0:
             raise ConfigurationError("cache latency must be non-negative")
 
     @property
     def num_sets(self) -> int:
-        """Number of cache sets (``size / (ways * line_size)``)."""
-        return self.size // (self.ways * self.line_size)
+        """Number of cache sets (``size / (ways * line_size * sector_lines)``)."""
+        return self.size // (self.ways * self.line_size * self.sector_lines)
+
+    @property
+    def sector_bytes(self) -> int:
+        """Bytes per sector (``line_size * sector_lines``)."""
+        return self.line_size * self.sector_lines
 
     @property
     def num_lines(self) -> int:
@@ -110,10 +154,15 @@ class CacheSpec:
 
     def describe(self) -> str:
         """Human-readable one-liner, e.g. ``'L2 3MB 12-way physical'``."""
-        return (
+        text = (
             f"L{self.level} {format_size(self.size)} {self.ways}-way "
             f"{self.indexing.value}"
         )
+        if self.organization is not CacheOrganization.INCLUSIVE:
+            text += f" {self.organization.value}"
+        if self.sector_lines != 1:
+            text += f" sectored({self.sector_lines})"
+        return text
 
 
 @dataclass(frozen=True)

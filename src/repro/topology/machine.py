@@ -16,7 +16,7 @@ from collections.abc import Iterable, Iterator, Sequence
 
 from ..errors import ConfigurationError
 from ..units import format_size
-from .cache import CacheLevel, CacheSpec
+from .cache import CacheLevel, CacheOrganization, CacheSpec
 
 #: An unordered pair of core ids, stored sorted.
 CorePair = tuple[int, int]
@@ -86,6 +86,31 @@ class BandwidthDomain:
 
 
 @dataclass(frozen=True)
+class CoreClass:
+    """A class of identical cores on a heterogeneous machine.
+
+    ``cycle_scale`` multiplies the cycle count of every memory traversal
+    executed on the class's cores: big (performance) cores use 1.0,
+    little (efficiency) cores something > 1.  The classes of a machine
+    must partition its cores.
+    """
+
+    name: str
+    cores: frozenset[int]
+    cycle_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("core class needs a name")
+        if not self.cores:
+            raise ConfigurationError(f"core class {self.name!r} has no cores")
+        if self.cycle_scale <= 0:
+            raise ConfigurationError(
+                f"core class {self.name!r}: cycle_scale must be > 0"
+            )
+
+
+@dataclass(frozen=True)
 class Machine:
     """One shared-memory multicore node.
 
@@ -130,6 +155,11 @@ class Machine:
     #: models an effectively-unbounded TLB, which is what the paper's
     #: measurement regime assumes.
     tlb: "object | None" = None
+    #: Optional heterogeneous core classes (extension; see the machine
+    #: zoo).  None models the homogeneous machines of the paper; when
+    #: set, the classes must partition the cores and the traversal
+    #: engine scales each core's cycle counts by its class.
+    core_classes: tuple[CoreClass, ...] | None = None
 
     def __post_init__(self) -> None:
         cores = frozenset(range(self.n_cores))
@@ -149,11 +179,18 @@ class Machine:
                     f"{self.name}: {level.spec.describe()} does not cover all cores"
                 )
             expected += 1
-        for i in range(1, len(self.levels)):
-            if self.levels[i].spec.size <= self.levels[i - 1].spec.size:
+        # Victim caches are small fully-associative buffers slotted
+        # between conventional levels; they are exempt from the monotone
+        # size rule, which then applies across them.
+        prev_size = self.levels[0].spec.size
+        for lvl in self.levels[1:]:
+            if lvl.spec.organization is CacheOrganization.VICTIM:
+                continue
+            if lvl.spec.size <= prev_size:
                 raise ConfigurationError(
                     f"{self.name}: cache sizes must strictly increase with level"
                 )
+            prev_size = lvl.spec.size
         for partition, what in ((self.processors, "processors"), (self.cells, "cells")):
             covered: set[int] = set()
             for group in partition:
@@ -170,6 +207,18 @@ class Machine:
             raise ConfigurationError(f"{self.name}: invalid scalar parameter")
         if self.core_stream_bw <= 0:
             raise ConfigurationError(f"{self.name}: core_stream_bw must be > 0")
+        if self.core_classes is not None:
+            covered = set()
+            for cls in self.core_classes:
+                if covered & cls.cores:
+                    raise ConfigurationError(
+                        f"{self.name}: overlapping core classes"
+                    )
+                covered |= set(cls.cores)
+            if covered != set(cores):
+                raise ConfigurationError(
+                    f"{self.name}: core classes must partition cores"
+                )
 
     # -- cache queries ---------------------------------------------------
 
@@ -230,6 +279,15 @@ class Machine:
     def same_cell(self, a: int, b: int) -> bool:
         """True if the two cores live in the same cell."""
         return self.cell_of(a) is self.cell_of(b)
+
+    def cycle_scale_of(self, core: int) -> float:
+        """Cycle-count multiplier of ``core`` (1.0 on homogeneous machines)."""
+        if self.core_classes is None:
+            return 1.0
+        for cls in self.core_classes:
+            if core in cls.cores:
+                return cls.cycle_scale
+        raise ConfigurationError(f"core {core} not in any core class")
 
     def summary(self) -> str:
         """Multi-line human-readable description."""

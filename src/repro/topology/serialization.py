@@ -12,12 +12,12 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, TopologyError
 from ..ioutils import atomic_write_text
 from ..memsim.tlb import TLBSpec
 from ..netsim.model import CommConfig, LayerParams
-from .cache import CacheLevel, CacheSpec, Indexing
-from .machine import BandwidthDomain, Cluster, Machine
+from .cache import CacheLevel, CacheOrganization, CacheSpec, Indexing
+from .machine import BandwidthDomain, Cluster, CoreClass, Machine
 
 
 def _domain_to_dict(domain: BandwidthDomain) -> dict:
@@ -38,6 +38,25 @@ def _domain_from_dict(data: dict) -> BandwidthDomain:
     )
 
 
+def _level_to_dict(lvl: CacheLevel) -> dict:
+    data = {
+        "level": lvl.spec.level,
+        "size": lvl.spec.size,
+        "ways": lvl.spec.ways,
+        "line_size": lvl.spec.line_size,
+        "indexing": lvl.spec.indexing.value,
+        "latency": lvl.spec.latency,
+        "groups": [sorted(g) for g in lvl.groups],
+    }
+    # Extension fields are emitted only when non-default, so files (and
+    # service fingerprints) of classic machines stay byte-identical.
+    if lvl.spec.organization is not CacheOrganization.INCLUSIVE:
+        data["organization"] = lvl.spec.organization.value
+    if lvl.spec.sector_lines != 1:
+        data["sector_lines"] = lvl.spec.sector_lines
+    return data
+
+
 def machine_to_dict(machine: Machine) -> dict:
     """Plain-JSON description of a machine."""
     data = {
@@ -47,18 +66,7 @@ def machine_to_dict(machine: Machine) -> dict:
         "mem_latency": machine.mem_latency,
         "clock_hz": machine.clock_hz,
         "core_stream_bw": machine.core_stream_bw,
-        "levels": [
-            {
-                "level": lvl.spec.level,
-                "size": lvl.spec.size,
-                "ways": lvl.spec.ways,
-                "line_size": lvl.spec.line_size,
-                "indexing": lvl.spec.indexing.value,
-                "latency": lvl.spec.latency,
-                "groups": [sorted(g) for g in lvl.groups],
-            }
-            for lvl in machine.levels
-        ],
+        "levels": [_level_to_dict(lvl) for lvl in machine.levels],
         "processors": [sorted(g) for g in machine.processors],
         "cells": [sorted(g) for g in machine.cells],
         "bandwidth": _domain_to_dict(machine.bandwidth_root),
@@ -69,7 +77,32 @@ def machine_to_dict(machine: Machine) -> dict:
             "ways": machine.tlb.ways,
             "walk_cycles": machine.tlb.walk_cycles,
         }
+    if machine.core_classes is not None:
+        data["core_classes"] = [
+            {
+                "name": cls.name,
+                "cores": sorted(cls.cores),
+                "cycle_scale": cls.cycle_scale,
+            }
+            for cls in machine.core_classes
+        ]
     return data
+
+
+def _organization_from_tag(tag: object) -> CacheOrganization:
+    """Parse a cache-organization tag, failing with the tag in the message.
+
+    A file written by a newer version with an organization this code
+    does not know must not surface as a bare ``KeyError``/``ValueError``
+    deep in a dataclass constructor.
+    """
+    try:
+        return CacheOrganization(tag)
+    except ValueError:
+        known = sorted(o.value for o in CacheOrganization)
+        raise TopologyError(
+            f"unknown cache organization {tag!r} (known: {known})"
+        ) from None
 
 
 def machine_from_dict(data: dict) -> Machine:
@@ -84,6 +117,10 @@ def machine_from_dict(data: dict) -> Machine:
                     line_size=int(lvl.get("line_size", 64)),
                     indexing=Indexing(lvl["indexing"]),
                     latency=float(lvl["latency"]),
+                    organization=_organization_from_tag(
+                        lvl.get("organization", "inclusive")
+                    ),
+                    sector_lines=int(lvl.get("sector_lines", 1)),
                 ),
                 tuple(frozenset(int(c) for c in g) for g in lvl["groups"]),
             )
@@ -96,6 +133,16 @@ def machine_from_dict(data: dict) -> Machine:
                 entries=int(raw["entries"]),
                 ways=None if raw.get("ways") is None else int(raw["ways"]),
                 walk_cycles=float(raw.get("walk_cycles", 30.0)),
+            )
+        core_classes = None
+        if "core_classes" in data:
+            core_classes = tuple(
+                CoreClass(
+                    name=str(raw["name"]),
+                    cores=frozenset(int(c) for c in raw["cores"]),
+                    cycle_scale=float(raw.get("cycle_scale", 1.0)),
+                )
+                for raw in data["core_classes"]
             )
         return Machine(
             name=str(data["name"]),
@@ -111,6 +158,7 @@ def machine_from_dict(data: dict) -> Machine:
             core_stream_bw=float(data["core_stream_bw"]),
             bandwidth_root=_domain_from_dict(data["bandwidth"]),
             tlb=tlb,
+            core_classes=core_classes,
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ConfigurationError(f"malformed machine description: {exc}") from exc
@@ -118,8 +166,9 @@ def machine_from_dict(data: dict) -> Machine:
 
 def comm_config_to_dict(config: CommConfig) -> dict:
     """Plain-JSON description of a communication config."""
-    return {
-        key: {
+    data: dict = {}
+    for key, p in config.layers.items():
+        layer = {
             "base_latency": p.base_latency,
             "bandwidth": p.bandwidth,
             "eager_threshold": p.eager_threshold,
@@ -128,8 +177,10 @@ def comm_config_to_dict(config: CommConfig) -> dict:
             "mem_bandwidth": p.mem_bandwidth,
             "contention_factor": p.contention_factor,
         }
-        for key, p in config.layers.items()
-    }
+        if p.nic_count != 1:
+            layer["nic_count"] = p.nic_count
+        data[key] = layer
+    return data
 
 
 def comm_config_from_dict(data: dict) -> CommConfig:
@@ -154,6 +205,7 @@ def comm_config_from_dict(data: dict) -> CommConfig:
                         else float(raw["mem_bandwidth"])
                     ),
                     contention_factor=float(raw.get("contention_factor", 0.0)),
+                    nic_count=int(raw.get("nic_count", 1)),
                 )
                 for key, raw in data.items()
             }

@@ -1,0 +1,56 @@
+"""repro.zoo: seeded machine generator + ground-truth recovery harness.
+
+The four paper machines prove the suite can rediscover hardware the
+model was built from.  The zoo asks the harder question: does detection
+still hold on machines the suite has *never seen*?  Each family bends
+one architectural assumption (exclusive and victim caches, sectored
+lines, odd associativity, sub-NUMA clustering, heterogeneous cores,
+multi-rail and oversubscribed interconnects) while recording frozen
+ground truth, and the recovery harness runs the blind suite against
+every generated machine, scoring each parameter ``match``,
+``tolerated``, ``undetectable`` (with the reason) or ``WRONG``.
+"""
+
+from .families import (
+    FAMILIES,
+    GeneratedMachine,
+    GroundTruth,
+    ParamTruth,
+    family_builder,
+    family_names,
+)
+from .generate import ZOO_NAMESPACE, generate_machine, generate_zoo
+from .recover import (
+    MATCH,
+    TOLERATED,
+    UNDETECTABLE,
+    WRONG,
+    MachineRecovery,
+    ParamVerdict,
+    ZooRecoveryReport,
+    recover_all,
+    recover_machine,
+    score_report,
+)
+
+__all__ = [
+    "FAMILIES",
+    "GeneratedMachine",
+    "GroundTruth",
+    "ParamTruth",
+    "family_builder",
+    "family_names",
+    "ZOO_NAMESPACE",
+    "generate_machine",
+    "generate_zoo",
+    "MATCH",
+    "TOLERATED",
+    "UNDETECTABLE",
+    "WRONG",
+    "MachineRecovery",
+    "ParamVerdict",
+    "ZooRecoveryReport",
+    "recover_all",
+    "recover_machine",
+    "score_report",
+]

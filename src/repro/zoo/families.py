@@ -1,0 +1,953 @@
+"""Machine families the paper never saw, with frozen ground truth.
+
+Each family builder derives one valid :class:`Machine` (plus its
+communication model) from a seeded ``random.Random`` and records a
+:class:`GroundTruth`: every parameter the suite claims to detect, with
+the value a *correct* detector should report.  Two values appear per
+parameter:
+
+- ``true_value`` — the architectural fact (e.g. an exclusive L2 really
+  has 480 KB of SRAM);
+- ``observable`` — what Servet-style strided/pairwise probes can
+  resolve (the same L2 *observes* as 512 KB, because probes see the
+  combined L1+L2 capacity).  ``observable is None`` declares the
+  parameter undetectable by this suite's methods; the recovery harness
+  then requires the detectors to stay silent about it — explicitly,
+  with a provenance reason where the report has a field for it — and
+  scores any emitted number as ``WRONG``.
+
+Families keep themselves inside the detectable regime on purpose:
+observable cache capacities land exactly on the mcalibrator probe
+schedule, communication layers stay separated beyond the 15 %
+clustering tolerance at the L1-sized probe, and bandwidth domains are
+water-filling-exact.  What is *not* arranged to be detectable is
+declared undetectable instead — that honesty is the point of the zoo
+(Cooper & Xu's hidden-hierarchy argument).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..netsim.layers import true_layers
+from ..netsim.model import CommConfig, LayerParams
+from ..topology.cache import (
+    CacheLevel,
+    CacheOrganization,
+    CacheSpec,
+    Indexing,
+    grouped,
+    private_groups,
+)
+from ..topology.machine import (
+    BandwidthDomain,
+    Cluster,
+    CoreClass,
+    Machine,
+    partition_by,
+)
+from ..units import KiB, MiB
+
+GB_S = 1e9
+US = 1e-6
+
+
+# -- ground truth records ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParamTruth:
+    """One detectable (or declared-undetectable) parameter."""
+
+    parameter: str
+    true_value: object
+    #: What a correct detector should report; ``None`` = undetectable.
+    observable: object
+    #: Relative tolerance for numeric comparison (0.0 = exact).
+    tolerance: float = 0.0
+    #: Soft parameters score ``tolerated`` instead of ``WRONG`` on a
+    #: mismatch (used for estimates the method is known to approximate).
+    soft: bool = False
+    note: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "parameter": self.parameter,
+            "true_value": self.true_value,
+            "observable": self.observable,
+            "tolerance": self.tolerance,
+            "soft": self.soft,
+            "note": self.note,
+        }
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Frozen record of everything the suite should recover."""
+
+    family: str
+    seed: int
+    machine_name: str
+    params: tuple[ParamTruth, ...]
+
+    def param(self, name: str) -> ParamTruth:
+        for p in self.params:
+            if p.parameter == name:
+                return p
+        raise KeyError(name)
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "seed": self.seed,
+            "machine_name": self.machine_name,
+            "params": [p.to_dict() for p in self.params],
+        }
+
+
+@dataclass(frozen=True)
+class GeneratedMachine:
+    """A generated cluster plus its communication model and truth."""
+
+    family: str
+    seed: int
+    cluster: Cluster
+    comm: CommConfig
+    truth: GroundTruth
+
+    @property
+    def machine(self) -> Machine:
+        return self.cluster.node
+
+
+# -- shared construction helpers -----------------------------------------
+
+
+@dataclass(frozen=True)
+class _ObsLevel:
+    """One level of the *observable* cache hierarchy."""
+
+    size: int
+    true_size: int | None = None          # None: same as observable
+    groups: tuple = ()                    # sharing groups (>= 2 cores)
+    ways_true: int | None = None
+    size_note: str = ""
+    ways_note: str = (
+        "level read positionally (virtually indexed / page-colored "
+        "cliff); the positional method carries no associativity estimate"
+    )
+
+
+def _shm_layer(name: str, rank: int, jitter_us: float) -> LayerParams:
+    """Rank-ordered shared-memory layer (same scheme as the presets).
+
+    At the L1-sized probe the transfer term dominates, so both the base
+    and the bandwidth must spread with rank to keep consecutive layers
+    more than the comm benchmark's 15 % clustering tolerance apart.
+    """
+    return LayerParams(
+        name=name,
+        base_latency=(0.3 + 0.7 * rank + jitter_us) * US,
+        bandwidth=(3.0 - 0.4 * rank) * GB_S,
+    )
+
+
+def _inter_layer(
+    rng: random.Random, nic_count: int = 1, gamma: float = 0.3
+) -> LayerParams:
+    return LayerParams(
+        name="inter-node",
+        base_latency=rng.choice([6.0, 8.0, 10.0]) * US,
+        bandwidth=1.25 * GB_S,
+        contention_factor=gamma,
+        nic_count=nic_count,
+    )
+
+
+def _uniform_root(n_cores: int, core_bw: float, factor: float) -> BandwidthDomain:
+    """One shared bus constraining every concurrent pair to factor/2."""
+    return BandwidthDomain(
+        "bus", capacity=factor * core_bw, cores=frozenset(range(n_cores))
+    )
+
+
+def _bus_tree(
+    n_cores: int,
+    core_bw: float,
+    bus_size: int,
+    bus_factor: float,
+    cell_size: int | None = None,
+) -> BandwidthDomain:
+    """Root (unconstraining) over optional cells over small buses."""
+    buses = tuple(
+        BandwidthDomain(f"bus{i}", capacity=bus_factor * core_bw, cores=cores)
+        for i, cores in enumerate(partition_by(range(n_cores), bus_size))
+    )
+    if cell_size is None:
+        children = buses
+    else:
+        children = tuple(
+            BandwidthDomain(
+                f"cell{i}",
+                capacity=2.5 * core_bw,
+                cores=cores,
+                children=tuple(b for b in buses if b.cores <= cores),
+            )
+            for i, cores in enumerate(partition_by(range(n_cores), cell_size))
+        )
+    return BandwidthDomain(
+        "node",
+        capacity=n_cores * core_bw,
+        cores=frozenset(range(n_cores)),
+        children=children,
+    )
+
+
+def _comm_truth(cluster: Cluster, comm: CommConfig, probe_size: int) -> list[dict]:
+    """Expected comm layers (pair partition + model latency), ascending."""
+    partition = true_layers(cluster, comm, cores=list(cluster.cores))
+    entries = []
+    for name, pairs in partition.items():
+        params = comm.params_for_relationship(name.split("|")[0])
+        entries.append(
+            {
+                "pairs": sorted([list(p) for p in pairs]),
+                "latency": params.latency(probe_size),
+            }
+        )
+    entries.sort(key=lambda e: (e["latency"], e["pairs"]))
+    return entries
+
+
+def _finish(
+    family: str,
+    seed: int,
+    cluster: Cluster,
+    comm: CommConfig,
+    obs_levels: list[_ObsLevel],
+    memory_levels: list[dict],
+    extras: list[ParamTruth],
+) -> GeneratedMachine:
+    """Assemble the GroundTruth shared by every family."""
+    params: list[ParamTruth] = [
+        ParamTruth(
+            parameter="cache.levels",
+            true_value=len(obs_levels),
+            observable=len(obs_levels),
+            note="number of cache levels the strided probe can resolve",
+        )
+    ]
+    for i, lvl in enumerate(obs_levels, start=1):
+        true_size = lvl.true_size if lvl.true_size is not None else lvl.size
+        params.append(
+            ParamTruth(
+                parameter=f"cache.L{i}.size",
+                true_value=true_size,
+                observable=lvl.size,
+                note=lvl.size_note or "capacity cliff on the probe schedule",
+            )
+        )
+        params.append(
+            ParamTruth(
+                parameter=f"cache.L{i}.sharing",
+                true_value=sorted([sorted(g) for g in lvl.groups]),
+                observable=sorted([sorted(g) for g in lvl.groups]),
+                note="pairwise thrash ratio above 2 marks sharing",
+            )
+        )
+        params.append(
+            ParamTruth(
+                parameter=f"cache.L{i}.ways",
+                true_value=lvl.ways_true,
+                observable=None,
+                note=lvl.ways_note,
+            )
+        )
+    params.append(
+        ParamTruth(
+            parameter="memory.levels",
+            true_value=memory_levels,
+            observable=memory_levels,
+            tolerance=1e-9,
+            note=(
+                "water-filling allocation through the bandwidth-domain "
+                "tree; a pair behind a domain of capacity C gets C/2 each"
+            ),
+        )
+    )
+    params.append(
+        ParamTruth(
+            parameter="tlb.entries",
+            true_value=None,
+            observable=None,
+            note=(
+                "the machine models an effectively unbounded TLB; the "
+                "one-line-per-page sweep must find no undiscounted cliff "
+                "and record an explicit undetectable provenance entry"
+            ),
+        )
+    )
+    probe_size = obs_levels[0].size
+    params.append(
+        ParamTruth(
+            parameter="comm.layers",
+            true_value=_comm_truth(cluster, comm, probe_size),
+            observable=_comm_truth(cluster, comm, probe_size),
+            tolerance=1e-6,
+            note=(
+                f"latency clustering at the L1-sized probe "
+                f"({probe_size} B); layers with equal cost parameters "
+                "merge, exactly as on Finis Terrae"
+            ),
+        )
+    )
+    params.extend(extras)
+    truth = GroundTruth(
+        family=family,
+        seed=seed,
+        machine_name=cluster.name,
+        params=tuple(params),
+    )
+    return GeneratedMachine(
+        family=family, seed=seed, cluster=cluster, comm=comm, truth=truth
+    )
+
+
+def _base_scalars(rng: random.Random) -> tuple[float, float, float]:
+    """(core_bw, mem_latency, jitter_us) palette shared by the families."""
+    core_bw = rng.choice([2.5, 3.0, 3.5]) * GB_S
+    mem_latency = rng.choice([220.0, 250.0, 280.0])
+    jitter_us = rng.choice([0.0, 0.05, 0.1, 0.15])
+    return core_bw, mem_latency, jitter_us
+
+
+def _l1(size: int, ways: int, n_cores: int) -> CacheLevel:
+    return CacheLevel(
+        CacheSpec(1, size, ways=ways, indexing=Indexing.VIRTUAL, latency=3.0),
+        private_groups(n_cores),
+    )
+
+
+def _machine(
+    name: str,
+    n_cores: int,
+    levels: tuple[CacheLevel, ...],
+    root: BandwidthDomain,
+    core_bw: float,
+    mem_latency: float,
+    processors=None,
+    cells=None,
+    core_classes=None,
+) -> Machine:
+    cores = frozenset(range(n_cores))
+    return Machine(
+        name=name,
+        n_cores=n_cores,
+        levels=levels,
+        processors=processors if processors is not None else (cores,),
+        cells=cells if cells is not None else (cores,),
+        page_size=4 * KiB,
+        mem_latency=mem_latency,
+        clock_hz=2.0e9,
+        core_stream_bw=core_bw,
+        bandwidth_root=root,
+        core_classes=core_classes,
+    )
+
+
+def _uniform_memory_truth(n_cores: int, core_bw: float, factor: float) -> list[dict]:
+    return [
+        {
+            "bandwidth": factor * core_bw / 2.0,
+            "groups": [list(range(n_cores))],
+        }
+    ]
+
+
+# -- the families --------------------------------------------------------
+
+
+def _family_exclusive_l2(rng: random.Random, seed: int) -> GeneratedMachine:
+    """AMD-style exclusive L2: probes observe S1 + S2, not S2."""
+    n = 4
+    core_bw, mem_latency, jitter = _base_scalars(rng)
+    w2 = rng.choice([7, 15, 31])
+    s1 = 32 * KiB
+    s2 = w2 * 512 * 64          # 512 sets keeps extra ways integral
+    levels = (
+        _l1(s1, 8, n),
+        CacheLevel(
+            CacheSpec(
+                2,
+                s2,
+                ways=w2,
+                indexing=Indexing.VIRTUAL,
+                latency=rng.choice([12.0, 14.0, 16.0]),
+                organization=CacheOrganization.EXCLUSIVE,
+            ),
+            private_groups(n),
+        ),
+    )
+    factor = rng.choice([1.2, 1.4, 1.6])
+    machine = _machine(
+        f"zoo-exclusive_l2-{seed:04d}",
+        n,
+        levels,
+        _uniform_root(n, core_bw, factor),
+        core_bw,
+        mem_latency,
+    )
+    cluster = Cluster(machine.name, machine)
+    comm = CommConfig({"same-node": _shm_layer("same-node", 0, jitter)})
+    obs = [
+        _ObsLevel(size=s1, ways_true=8),
+        _ObsLevel(
+            size=s1 + s2,
+            true_size=s2,
+            ways_true=w2,
+            size_note=(
+                f"exclusive L2 of {s2} B observes as {s1 + s2} B: the "
+                "cyclic working set enjoys the combined L1+L2 capacity"
+            ),
+        ),
+    ]
+    extras = [
+        ParamTruth(
+            parameter="cache.L2.organization",
+            true_value="exclusive",
+            observable=None,
+            note=(
+                "the fill discipline leaves no signature of its own at "
+                "noise=0; only the inflated capacity cliff (scored under "
+                "cache.L2.size) betrays it"
+            ),
+        )
+    ]
+    return _finish(
+        "exclusive_l2",
+        seed,
+        cluster,
+        comm,
+        obs,
+        _uniform_memory_truth(n, core_bw, factor),
+        extras,
+    )
+
+
+def _family_victim_cache(rng: random.Random, seed: int) -> GeneratedMachine:
+    """Jouppi victim buffer between L1 and L2: invisible to the probes."""
+    n = 4
+    core_bw, mem_latency, jitter = _base_scalars(rng)
+    entries = rng.choice([8, 16])
+    s1 = rng.choice([32 * KiB, 64 * KiB])
+    l1_ways = 8
+    pairs = [[0, 1], [2, 3]]
+    levels = (
+        _l1(s1, l1_ways, n),
+        CacheLevel(
+            CacheSpec(
+                2,
+                entries * 64,
+                ways=entries,
+                indexing=Indexing.VIRTUAL,
+                latency=2.0,
+                organization=CacheOrganization.VICTIM,
+            ),
+            private_groups(n),
+        ),
+        CacheLevel(
+            CacheSpec(
+                3,
+                2 * MiB,
+                ways=8,
+                indexing=Indexing.VIRTUAL,
+                latency=rng.choice([14.0, 16.0]),
+            ),
+            grouped(pairs),
+        ),
+    )
+    factor = rng.choice([1.2, 1.4, 1.6])
+    machine = _machine(
+        f"zoo-victim_cache-{seed:04d}",
+        n,
+        levels,
+        _uniform_root(n, core_bw, factor),
+        core_bw,
+        mem_latency,
+        processors=grouped(pairs),
+    )
+    cluster = Cluster(machine.name, machine)
+    comm = CommConfig(
+        {
+            "shared-l3": _shm_layer("shared-l3", 0, jitter),
+            "same-node": _shm_layer("same-node", 1, jitter),
+        }
+    )
+    obs = [
+        _ObsLevel(size=s1, ways_true=l1_ways),
+        _ObsLevel(
+            size=2 * MiB,
+            ways_true=8,
+            groups=tuple(tuple(p) for p in pairs),
+            size_note="the main L2 observes as the second level",
+        ),
+    ]
+    extras = [
+        ParamTruth(
+            parameter="cache.victim.entries",
+            true_value=entries,
+            observable=None,
+            note=(
+                f"fully-associative victim buffer of {entries} lines "
+                f"({entries * 64} B total) holds fewer lines than the "
+                "1 KiB-strided working set at the L1 cliff; it absorbs "
+                "nothing the probe can see"
+            ),
+        )
+    ]
+    return _finish(
+        "victim_cache",
+        seed,
+        cluster,
+        comm,
+        obs,
+        _uniform_memory_truth(n, core_bw, factor),
+        extras,
+    )
+
+
+def _family_sectored(rng: random.Random, seed: int) -> GeneratedMachine:
+    """Sectored L2 (one tag per 2-4 lines): capacity reads true."""
+    n = 4
+    core_bw, mem_latency, jitter = _base_scalars(rng)
+    # The L2 size scales with the sector count so the tag capacity
+    # (size / line / sector_lines = 16384 here) stays above the 8192
+    # pages of the TLB sweep; a smaller sectored cache would show a
+    # tag-capacity cliff at page stride that mimics a TLB.
+    s2, sector_lines = rng.choice([(2 * MiB, 2), (4 * MiB, 4)])
+    s1 = rng.choice([16 * KiB, 32 * KiB])
+    l1_ways = 8 if s1 == 32 * KiB else 4
+    levels = (
+        _l1(s1, l1_ways, n),
+        CacheLevel(
+            CacheSpec(
+                2,
+                s2,
+                ways=8,
+                indexing=Indexing.VIRTUAL,
+                latency=rng.choice([12.0, 14.0]),
+                sector_lines=sector_lines,
+            ),
+            private_groups(n),
+        ),
+    )
+    factor = rng.choice([1.2, 1.4, 1.6])
+    machine = _machine(
+        f"zoo-sectored-{seed:04d}",
+        n,
+        levels,
+        _uniform_root(n, core_bw, factor),
+        core_bw,
+        mem_latency,
+    )
+    cluster = Cluster(machine.name, machine)
+    comm = CommConfig({"same-node": _shm_layer("same-node", 0, jitter)})
+    obs = [
+        _ObsLevel(size=s1, ways_true=l1_ways),
+        _ObsLevel(size=s2, ways_true=8),
+    ]
+    extras = [
+        ParamTruth(
+            parameter="cache.L2.sector_lines",
+            true_value=sector_lines,
+            observable=None,
+            note=(
+                f"sector tags cover {sector_lines * 64} B, below the "
+                "1 KiB probe stride, so every access claims a fresh "
+                "sector and the tag math is invisible; capacity still "
+                "reads true"
+            ),
+        )
+    ]
+    return _finish(
+        "sectored",
+        seed,
+        cluster,
+        comm,
+        obs,
+        _uniform_memory_truth(n, core_bw, factor),
+        extras,
+    )
+
+
+def _family_odd_assoc(rng: random.Random, seed: int) -> GeneratedMachine:
+    """Non-power-of-two associativity (3/6/12-way) shared L2."""
+    n = 4
+    core_bw, mem_latency, jitter = _base_scalars(rng)
+    s1 = rng.choice([16 * KiB, 32 * KiB, 64 * KiB])
+    l1_ways = {16 * KiB: 4, 32 * KiB: 8, 64 * KiB: 8}[s1]
+    # Pairs chosen so the first probe size past the cliff (the +1 MB
+    # grid point) loads every touched set uniformly: the miss is then
+    # total, the cliff single-point, and the positional read exact.
+    # 6 MB with only 3 ways fails that (7 MB spreads 7168 lines over
+    # 2048 sets non-uniformly), so it stays out of the palette.
+    s2, w2 = rng.choice(
+        [
+            (3 * MiB, 3),
+            (3 * MiB, 6),
+            (3 * MiB, 12),
+            (6 * MiB, 6),
+            (6 * MiB, 12),
+        ]
+    )
+    pairs = [[0, 1], [2, 3]]
+    levels = (
+        _l1(s1, l1_ways, n),
+        CacheLevel(
+            CacheSpec(
+                2,
+                s2,
+                ways=w2,
+                indexing=Indexing.VIRTUAL,
+                latency=rng.choice([16.0, 18.0]),
+            ),
+            grouped(pairs),
+        ),
+    )
+    factor = rng.choice([1.2, 1.4, 1.6])
+    machine = _machine(
+        f"zoo-odd_assoc-{seed:04d}",
+        n,
+        levels,
+        _uniform_root(n, core_bw, factor),
+        core_bw,
+        mem_latency,
+        processors=grouped(pairs),
+    )
+    cluster = Cluster(machine.name, machine)
+    comm = CommConfig(
+        {
+            "shared-l2": _shm_layer("shared-l2", 0, jitter),
+            "same-node": _shm_layer("same-node", 1, jitter),
+        }
+    )
+    obs = [
+        _ObsLevel(size=s1, ways_true=l1_ways),
+        _ObsLevel(
+            size=s2,
+            ways_true=w2,
+            groups=tuple(tuple(p) for p in pairs),
+            size_note=(
+                f"{w2}-way associativity is not a power of two, but the "
+                "capacity cliff still lands exactly at the size"
+            ),
+        ),
+    ]
+    return _finish(
+        "odd_assoc",
+        seed,
+        cluster,
+        comm,
+        obs,
+        _uniform_memory_truth(n, core_bw, factor),
+        [],
+    )
+
+
+def _family_snc(rng: random.Random, seed: int) -> GeneratedMachine:
+    """Sub-NUMA clustering: two cells, per-pair memory buses, two
+    distinct shared-memory communication layers."""
+    n = 8
+    core_bw, mem_latency, jitter = _base_scalars(rng)
+    s1 = rng.choice([16 * KiB, 32 * KiB])
+    l1_ways = 4 if s1 == 16 * KiB else 8
+    levels = (
+        _l1(s1, l1_ways, n),
+        CacheLevel(
+            CacheSpec(
+                2,
+                rng.choice([256 * KiB, 512 * KiB]),
+                ways=8,
+                indexing=Indexing.VIRTUAL,
+                latency=10.0,
+            ),
+            private_groups(n),
+        ),
+    )
+    bus_factor = rng.choice([1.2, 1.4])
+    root = _bus_tree(n, core_bw, bus_size=2, bus_factor=bus_factor, cell_size=4)
+    machine = _machine(
+        f"zoo-snc-{seed:04d}",
+        n,
+        levels,
+        root,
+        core_bw,
+        mem_latency,
+        processors=partition_by(range(n), 2),
+        cells=partition_by(range(n), 4),
+    )
+    cluster = Cluster(machine.name, machine)
+    comm = CommConfig(
+        {
+            "same-cell": _shm_layer("same-cell", 0, jitter),
+            "same-node": _shm_layer("same-node", 1, jitter),
+        }
+    )
+    obs = [
+        _ObsLevel(size=s1, ways_true=l1_ways),
+        _ObsLevel(size=levels[1].spec.size, ways_true=8),
+    ]
+    memory = [
+        {
+            "bandwidth": bus_factor * core_bw / 2.0,
+            "groups": [[c, c + 1] for c in range(0, n, 2)],
+        }
+    ]
+    extras = [
+        ParamTruth(
+            parameter="topology.snc_cells",
+            true_value=2,
+            observable=None,
+            note=(
+                "the report has no cell-count field; sub-NUMA clustering "
+                "surfaces only through the same-cell communication layer "
+                "and the bus-level memory groups, scored above"
+            ),
+        )
+    ]
+    return _finish("snc", seed, cluster, comm, obs, memory, extras)
+
+
+def _family_big_little(rng: random.Random, seed: int) -> GeneratedMachine:
+    """Heterogeneous cores: 4 big + 4 little, per-cluster shared L2."""
+    n = 8
+    core_bw, mem_latency, jitter = _base_scalars(rng)
+    scale = rng.choice([1.25, 1.4, 1.6])
+    clusters = [[0, 1, 2, 3], [4, 5, 6, 7]]
+    levels = (
+        _l1(32 * KiB, 8, n),
+        CacheLevel(
+            CacheSpec(
+                2,
+                2 * MiB,
+                ways=8,
+                indexing=Indexing.VIRTUAL,
+                latency=rng.choice([14.0, 16.0]),
+            ),
+            grouped(clusters),
+        ),
+    )
+    factor = rng.choice([1.2, 1.4, 1.6])
+    core_classes = (
+        CoreClass("big", frozenset(clusters[0]), cycle_scale=1.0),
+        CoreClass("little", frozenset(clusters[1]), cycle_scale=scale),
+    )
+    machine = _machine(
+        f"zoo-big_little-{seed:04d}",
+        n,
+        levels,
+        _uniform_root(n, core_bw, factor),
+        core_bw,
+        mem_latency,
+        processors=grouped(clusters),
+        core_classes=core_classes,
+    )
+    cluster = Cluster(machine.name, machine)
+    comm = CommConfig(
+        {
+            "shared-l2": _shm_layer("shared-l2", 0, jitter),
+            "same-node": _shm_layer("same-node", 1, jitter),
+        }
+    )
+    obs = [
+        _ObsLevel(size=32 * KiB, ways_true=8),
+        _ObsLevel(
+            size=2 * MiB,
+            ways_true=8,
+            groups=tuple(tuple(c) for c in clusters),
+        ),
+    ]
+    extras = [
+        ParamTruth(
+            parameter="core_classes.little_scale",
+            true_value=scale,
+            observable=None,
+            note=(
+                f"little cores burn {scale}x cycles per access, but every "
+                "detector is ratio-based (gradients, thrash ratios) or "
+                "runs on core 0, so the heterogeneity normalizes away; "
+                "the report has no per-core speed field"
+            ),
+        )
+    ]
+    return _finish(
+        "big_little",
+        seed,
+        cluster,
+        comm,
+        obs,
+        _uniform_memory_truth(n, core_bw, factor),
+        extras,
+    )
+
+
+def _family_multi_nic(rng: random.Random, seed: int) -> GeneratedMachine:
+    """Two nodes with a multi-rail interconnect (2 or 4 NICs)."""
+    n = 4
+    core_bw, mem_latency, jitter = _base_scalars(rng)
+    nic_count = rng.choice([2, 4])
+    levels = (
+        _l1(32 * KiB, 8, n),
+        CacheLevel(
+            CacheSpec(
+                2,
+                2 * MiB,
+                ways=8,
+                indexing=Indexing.VIRTUAL,
+                latency=14.0,
+            ),
+            grouped([[0, 1, 2, 3]]),
+        ),
+    )
+    factor = rng.choice([1.2, 1.4, 1.6])
+    machine = _machine(
+        f"zoo-multi_nic-{seed:04d}",
+        n,
+        levels,
+        _uniform_root(n, core_bw, factor),
+        core_bw,
+        mem_latency,
+    )
+    cluster = Cluster(machine.name, machine, n_nodes=2)
+    comm = CommConfig(
+        {
+            "shared-l2": _shm_layer("shared-l2", 0, jitter),
+            "inter-node": _inter_layer(rng, nic_count=nic_count, gamma=0.5),
+        }
+    )
+    obs = [
+        _ObsLevel(size=32 * KiB, ways_true=8),
+        _ObsLevel(
+            size=2 * MiB, ways_true=8, groups=((0, 1, 2, 3),)
+        ),
+    ]
+    extras = [
+        ParamTruth(
+            parameter="comm.inter-node.nic_count",
+            true_value=nic_count,
+            observable=None,
+            note=(
+                f"{nic_count} rails only change *concurrent* transfer "
+                "inflation (ceil(N/nics) per rail); the layer detector "
+                "measures one pair at a time, where every rail count "
+                "behaves identically"
+            ),
+        )
+    ]
+    return _finish(
+        "multi_nic",
+        seed,
+        cluster,
+        comm,
+        obs,
+        _uniform_memory_truth(n, core_bw, factor),
+        extras,
+    )
+
+
+def _family_fat_tree(rng: random.Random, seed: int) -> GeneratedMachine:
+    """Two nodes behind an oversubscribed fat-tree uplink."""
+    n = 4
+    core_bw, mem_latency, jitter = _base_scalars(rng)
+    gamma = rng.choice([0.6, 0.9])
+    pairs = [[0, 1], [2, 3]]
+    levels = (
+        _l1(32 * KiB, 8, n),
+        CacheLevel(
+            CacheSpec(
+                2,
+                2 * MiB,
+                ways=8,
+                indexing=Indexing.VIRTUAL,
+                latency=14.0,
+            ),
+            grouped(pairs),
+        ),
+    )
+    factor = rng.choice([1.2, 1.4, 1.6])
+    machine = _machine(
+        f"zoo-fat_tree-{seed:04d}",
+        n,
+        levels,
+        _uniform_root(n, core_bw, factor),
+        core_bw,
+        mem_latency,
+        processors=grouped(pairs),
+    )
+    cluster = Cluster(machine.name, machine, n_nodes=2)
+    comm = CommConfig(
+        {
+            "shared-l2": _shm_layer("shared-l2", 0, jitter),
+            "same-node": _shm_layer("same-node", 1, jitter),
+            "inter-node": _inter_layer(rng, nic_count=1, gamma=gamma),
+        }
+    )
+    obs = [
+        _ObsLevel(size=32 * KiB, ways_true=8),
+        _ObsLevel(
+            size=2 * MiB,
+            ways_true=8,
+            groups=tuple(tuple(p) for p in pairs),
+        ),
+    ]
+    extras = [
+        ParamTruth(
+            parameter="comm.inter-node.contention_factor",
+            true_value=gamma,
+            observable=None,
+            note=(
+                f"the oversubscribed uplink (gamma={gamma}) inflates only "
+                "concurrent transfers; single-pair latency probes cannot "
+                "separate it from a non-blocking fabric"
+            ),
+        )
+    ]
+    return _finish(
+        "fat_tree",
+        seed,
+        cluster,
+        comm,
+        obs,
+        _uniform_memory_truth(n, core_bw, factor),
+        extras,
+    )
+
+
+#: Family registry: name -> builder(rng, seed).
+FAMILIES: dict[str, object] = {
+    "exclusive_l2": _family_exclusive_l2,
+    "victim_cache": _family_victim_cache,
+    "sectored": _family_sectored,
+    "odd_assoc": _family_odd_assoc,
+    "snc": _family_snc,
+    "big_little": _family_big_little,
+    "multi_nic": _family_multi_nic,
+    "fat_tree": _family_fat_tree,
+}
+
+
+def family_names() -> list[str]:
+    """Names accepted by the generator (and the CLI)."""
+    return sorted(FAMILIES)
+
+
+def family_builder(name: str):
+    """The builder for ``name``, with a helpful error for typos."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown zoo family {name!r}; available: {', '.join(family_names())}"
+        ) from None

@@ -107,3 +107,66 @@ def test_cli_export_and_run_with_machine_file(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "dempsey" in out
     assert report_path.exists()
+
+# -- machine zoo round-trips ----------------------------------------------
+
+
+@pytest.mark.parametrize("family", sorted(__import__("repro.zoo", fromlist=["FAMILIES"]).FAMILIES))
+def test_zoo_family_roundtrip(family, tmp_path):
+    # Every zoo family (exclusive/victim organization, sectored lines,
+    # heterogeneous core classes, multi-NIC comm layers) must survive
+    # save -> load byte-identically at the dict level.
+    from repro.zoo import generate_machine
+
+    gm = generate_machine(family, 0)
+    path = tmp_path / "zoo.json"
+    save_cluster(gm.cluster, path, comm=gm.comm)
+    loaded, loaded_comm = load_cluster(path)
+    assert loaded == gm.cluster
+    assert cluster_to_dict(loaded) == cluster_to_dict(gm.cluster)
+    assert loaded_comm is not None
+    assert loaded_comm.layers == gm.comm.layers
+
+
+def test_classic_machine_dict_has_no_zoo_fields():
+    # New fields serialize only when non-default, so fingerprints and
+    # canonical digests of pre-zoo machines stay stable.
+    data = machine_to_dict(dunnington())
+    for level in data["levels"]:
+        assert "organization" not in level
+        assert "sector_lines" not in level
+    assert "core_classes" not in data
+
+
+def test_unknown_cache_organization_raises_topology_error():
+    from repro.errors import TopologyError
+
+    data = machine_to_dict(dunnington())
+    data["levels"][0]["organization"] = "probabilistic"
+    with pytest.raises(TopologyError, match="probabilistic"):
+        machine_from_dict(data)
+    # TopologyError is a ConfigurationError, so existing callers that
+    # catch the base class keep working.
+    assert issubclass(TopologyError, ConfigurationError)
+
+
+def test_nic_count_roundtrip_and_default_elision():
+    from repro.netsim import CommConfig, LayerParams
+
+    comm = CommConfig(
+        {
+            "inter-node": LayerParams(
+                name="inter-node",
+                base_latency=8e-6,
+                bandwidth=1.25e9,
+                nic_count=4,
+            ),
+            "same-node": LayerParams(
+                name="same-node", base_latency=1e-6, bandwidth=3e9
+            ),
+        }
+    )
+    data = comm_config_to_dict(comm)
+    assert data["inter-node"]["nic_count"] == 4
+    assert "nic_count" not in data["same-node"]
+    assert comm_config_from_dict(data).layers == comm.layers

@@ -1,0 +1,366 @@
+"""Unit tests for the machine zoo: families, simulation support, recovery."""
+
+import pytest
+
+from repro.backends import SimulatedBackend
+from repro.errors import ConfigurationError
+from repro.memsim.cache import (
+    MultiLevelSimulator,
+    TraceAccess,
+    interleave_round_robin,
+)
+from repro.memsim.traversal import Traversal, TraversalEngine
+from repro.topology import CacheOrganization, CoreClass
+from repro.topology.cache import CacheLevel, CacheSpec, Indexing, private_groups
+from repro.topology.machine import BandwidthDomain, Machine
+from repro.units import KiB, MiB
+from repro.zoo import (
+    MATCH,
+    UNDETECTABLE,
+    WRONG,
+    family_builder,
+    family_names,
+    generate_machine,
+    generate_zoo,
+    recover_machine,
+    score_report,
+)
+
+
+# -- generator basics -----------------------------------------------------
+
+
+def test_family_names_cover_the_announced_families():
+    names = family_names()
+    assert len(names) == 8
+    for expected in (
+        "exclusive_l2",
+        "victim_cache",
+        "sectored",
+        "odd_assoc",
+        "snc",
+        "big_little",
+        "multi_nic",
+        "fat_tree",
+    ):
+        assert expected in names
+
+
+def test_unknown_family_is_a_clear_error():
+    with pytest.raises(ConfigurationError, match="no_such_family"):
+        family_builder("no_such_family")
+
+
+def test_generate_zoo_orders_by_family_then_seed():
+    machines = generate_zoo(families=["snc", "fat_tree"], seeds=2)
+    coords = [(m.family, m.seed) for m in machines]
+    assert coords == [("snc", 0), ("snc", 1), ("fat_tree", 0), ("fat_tree", 1)]
+
+
+@pytest.mark.parametrize("family", family_names())
+def test_ground_truth_is_complete(family):
+    gm = generate_machine(family, 0)
+    names = {p.parameter for p in gm.truth.params}
+    assert "cache.levels" in names
+    assert "memory.levels" in names
+    assert "comm.layers" in names
+    assert "tlb.entries" in names
+    n_levels = gm.truth.param("cache.levels").true_value
+    for i in range(1, n_levels + 1):
+        assert f"cache.L{i}.size" in names
+        assert f"cache.L{i}.sharing" in names
+        assert f"cache.L{i}.ways" in names
+
+
+# -- simulation substrate behaviors the families rely on ------------------
+
+
+def _machine_with_l2(spec2: CacheSpec, n: int = 1, **kwargs) -> Machine:
+    levels = (
+        CacheLevel(
+            CacheSpec(1, 32 * KiB, ways=8, indexing=Indexing.VIRTUAL, latency=3.0),
+            private_groups(n),
+        ),
+        CacheLevel(spec2, private_groups(n)),
+    )
+    cores = frozenset(range(n))
+    return Machine(
+        name="t",
+        n_cores=n,
+        levels=levels,
+        processors=(cores,),
+        cells=(cores,),
+        page_size=4 * KiB,
+        mem_latency=250.0,
+        clock_hz=2e9,
+        core_stream_bw=3e9,
+        bandwidth_root=BandwidthDomain("root", capacity=4 * 3e9, cores=cores),
+        **kwargs,
+    )
+
+
+def test_exclusive_l2_observes_combined_capacity():
+    # 32 KB L1 + 480 KB 15-way exclusive L2: a cyclic traversal of
+    # exactly 512 KB (the sum) must still hit; 1 MB must miss.
+    spec2 = CacheSpec(
+        2,
+        480 * KiB,
+        ways=15,
+        indexing=Indexing.VIRTUAL,
+        latency=14.0,
+        organization=CacheOrganization.EXCLUSIVE,
+    )
+    machine = _machine_with_l2(spec2)
+    engine = TraversalEngine(machine)
+    fits = engine.run([Traversal(0, 512 * KiB, 1024)], rng=0).cycles_per_access[0]
+    misses = engine.run([Traversal(0, 1 * MiB, 1024)], rng=0).cycles_per_access[0]
+    assert fits < 3.0 + 14.0 + 1.0
+    assert misses > 250.0
+
+
+def test_exclusive_analytic_agrees_with_explicit_simulation():
+    spec2 = CacheSpec(
+        2,
+        480 * KiB,
+        ways=15,
+        indexing=Indexing.VIRTUAL,
+        latency=14.0,
+        organization=CacheOrganization.EXCLUSIVE,
+    )
+    machine = _machine_with_l2(spec2)
+    engine = TraversalEngine(machine)
+    sim = MultiLevelSimulator(machine)
+    for array_bytes in (256 * KiB, 512 * KiB, 768 * KiB):
+        stride = 1024
+        n = array_bytes // stride
+        trace = [
+            TraceAccess(core=0, vline=i * (stride // 64), pline=i * (stride // 64))
+            for i in range(n)
+        ]
+        outcome = sim.run(trace, rounds=4, measure_last_round_only=True)
+        analytic = engine.run(
+            [Traversal(0, array_bytes, stride)], rng=0
+        ).cycles_per_access[0]
+        assert outcome.cycles_per_access[0] == pytest.approx(analytic, rel=0.05)
+
+
+def test_victim_buffer_is_invisible_to_strided_probes():
+    # A 16-entry victim level must not move the apparent L1 cliff.
+    victim = CacheSpec(
+        2,
+        16 * 64,
+        ways=16,
+        indexing=Indexing.VIRTUAL,
+        latency=2.0,
+        organization=CacheOrganization.VICTIM,
+    )
+    levels = (
+        CacheLevel(
+            CacheSpec(1, 32 * KiB, ways=8, indexing=Indexing.VIRTUAL, latency=3.0),
+            private_groups(1),
+        ),
+        CacheLevel(victim, private_groups(1)),
+        CacheLevel(
+            CacheSpec(3, 2 * MiB, ways=8, indexing=Indexing.VIRTUAL, latency=16.0),
+            private_groups(1),
+        ),
+    )
+    cores = frozenset([0])
+    machine = Machine(
+        name="v",
+        n_cores=1,
+        levels=levels,
+        processors=(cores,),
+        cells=(cores,),
+        page_size=4 * KiB,
+        mem_latency=250.0,
+        clock_hz=2e9,
+        core_stream_bw=3e9,
+        bandwidth_root=BandwidthDomain("root", capacity=4 * 3e9, cores=cores),
+    )
+    engine = TraversalEngine(machine)
+    at_l1 = engine.run([Traversal(0, 32 * KiB, 1024)], rng=0).cycles_per_access[0]
+    past_l1 = engine.run([Traversal(0, 64 * KiB, 1024)], rng=0).cycles_per_access[0]
+    # Still hits L1 at exactly 32 KB; past it the victim (16 lines vs a
+    # 64-line working set) catches nothing and L3 serves the misses.
+    assert at_l1 == pytest.approx(3.0)
+    assert past_l1 > 3.0 + 2.0 + 10.0
+
+
+def test_victim_spec_requires_full_associativity():
+    with pytest.raises(ConfigurationError, match="victim"):
+        CacheSpec(
+            2,
+            64 * KiB,
+            ways=8,
+            organization=CacheOrganization.VICTIM,
+        )
+
+
+def test_sectored_capacity_reads_true_under_coarse_stride():
+    # sector_lines=4: one tag per 256 B.  With a 1 KiB stride each
+    # access claims a fresh sector, so the apparent capacity equals the
+    # real size.
+    spec2 = CacheSpec(
+        2,
+        1 * MiB,
+        ways=8,
+        indexing=Indexing.VIRTUAL,
+        latency=14.0,
+        sector_lines=4,
+    )
+    assert spec2.num_sets == 512
+    assert spec2.sector_bytes == 256
+    machine = _machine_with_l2(spec2)
+    engine = TraversalEngine(machine)
+    fits = engine.run([Traversal(0, 1 * MiB, 1024)], rng=0).cycles_per_access[0]
+    misses = engine.run([Traversal(0, 2 * MiB, 1024)], rng=0).cycles_per_access[0]
+    assert fits < 3.0 + 14.0 + 1.0
+    assert misses > 250.0
+
+
+def test_core_classes_scale_cycles_per_class():
+    spec2 = CacheSpec(2, 1 * MiB, ways=8, indexing=Indexing.VIRTUAL, latency=14.0)
+    machine = _machine_with_l2(
+        spec2,
+        n=2,
+        core_classes=(
+            CoreClass("big", frozenset([0]), cycle_scale=1.0),
+            CoreClass("little", frozenset([1]), cycle_scale=1.5),
+        ),
+    )
+    engine = TraversalEngine(machine)
+    result = engine.run(
+        [Traversal(0, 16 * KiB, 1024), Traversal(1, 16 * KiB, 1024)], rng=0
+    )
+    cycles = result.cycles_per_access
+    assert cycles[1] == pytest.approx(1.5 * cycles[0])
+
+
+def test_core_classes_must_partition_cores():
+    spec2 = CacheSpec(2, 1 * MiB, ways=8, indexing=Indexing.VIRTUAL, latency=14.0)
+    with pytest.raises(ConfigurationError, match="partition"):
+        _machine_with_l2(
+            spec2,
+            n=2,
+            core_classes=(CoreClass("big", frozenset([0])),),
+        )
+
+
+def test_interleaved_exclusive_traces_share_nothing():
+    # Two cores with private exclusive L2s: concurrent traversal keeps
+    # per-core behavior (regression guard for the exclusive fill path
+    # under interleaving).
+    spec2 = CacheSpec(
+        2,
+        480 * KiB,
+        ways=15,
+        indexing=Indexing.VIRTUAL,
+        latency=14.0,
+        organization=CacheOrganization.EXCLUSIVE,
+    )
+    machine = _machine_with_l2(spec2, n=2)
+    sim = MultiLevelSimulator(machine)
+    n = (512 * KiB) // 1024
+    streams = [
+        [TraceAccess(core=c, vline=i * 16, pline=i * 16) for i in range(n)]
+        for c in (0, 1)
+    ]
+    outcome = sim.run(
+        interleave_round_robin(streams), rounds=4, measure_last_round_only=True
+    )
+    assert outcome.cycles_per_access[0] == pytest.approx(
+        outcome.cycles_per_access[1]
+    )
+    assert outcome.cycles_per_access[0] < 3.0 + 14.0 + 1.0
+
+
+# -- recovery harness -----------------------------------------------------
+
+
+@pytest.mark.parametrize("family", family_names())
+def test_blind_recovery_has_zero_wrong(family):
+    result = recover_machine(generate_machine(family, 0))
+    assert result.ok, "\n".join(
+        f"{v.parameter}: expected {v.expected!r} detected {v.detected!r}"
+        for v in result.wrong
+    )
+    counts = result.counts()
+    assert counts[MATCH] >= 5
+    assert counts[UNDETECTABLE] >= 1
+
+
+def test_declared_undetectable_params_stay_silent():
+    # The victim family's buffer and the zoo machines' TLB must be
+    # scored undetectable with an explanatory reason, never WRONG.
+    result = recover_machine(generate_machine("victim_cache", 1))
+    by_name = {v.parameter: v for v in result.verdicts}
+    assert by_name["cache.victim.entries"].verdict == UNDETECTABLE
+    assert "victim" in by_name["cache.victim.entries"].reason
+    assert by_name["tlb.entries"].verdict == UNDETECTABLE
+    assert by_name["tlb.entries"].reason  # carries the give-up note
+
+
+def test_score_report_flags_fabricated_values():
+    # A report claiming a TLB on a TLB-less machine must be WRONG.
+    gm = generate_machine("sectored", 0)
+    backend = SimulatedBackend(gm.cluster, comm_config=gm.comm, noise=0.0, seed=1)
+    from repro.core import ServetSuite
+
+    report = ServetSuite(backend).run()
+    report.tlb_entries = 4096
+    verdicts = {v.parameter: v for v in score_report(report, gm.truth)}
+    assert verdicts["tlb.entries"].verdict == WRONG
+    # And a wrong cache size likewise.
+    report.tlb_entries = None
+    report.caches[1].size //= 2
+    verdicts = {v.parameter: v for v in score_report(report, gm.truth)}
+    assert verdicts["cache.L2.size"].verdict == WRONG
+
+
+def test_cli_zoo_recover_and_sweep(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["zoo", "recover", "--family", "odd_assoc", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "WRONG=0" in out
+
+    out_path = tmp_path / "sweep.json"
+    assert (
+        main(
+            [
+                "zoo",
+                "sweep",
+                "--families",
+                "exclusive_l2,big_little",
+                "--seeds",
+                "2",
+                "-o",
+                str(out_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "0 WRONG" in out
+    assert out_path.exists()
+
+
+def test_giveup_provenance_is_queryable_via_explain(tmp_path, capsys):
+    # The TLB give-up on a zoo machine must be an explicit provenance
+    # record that `servet explain` can surface.
+    from repro.cli import main
+    from repro.core import ServetSuite
+    from repro.obs import explain
+
+    gm = generate_machine("exclusive_l2", 0)
+    backend = SimulatedBackend(gm.cluster, comm_config=gm.comm, noise=0.0, seed=7)
+    report = ServetSuite(backend).run()
+    text = explain(report, "tlb.entries")
+    assert "undetectable" in text
+
+    path = tmp_path / "report.json"
+    path.write_text(__import__("json").dumps(report.to_dict(), indent=2))
+    assert main(["explain", str(path), "tlb.entries"]) == 0
+    out = capsys.readouterr().out
+    assert "undetectable" in out
