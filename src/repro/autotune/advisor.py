@@ -134,3 +134,33 @@ class Advisor:
         """Aggregate-or-not for traffic between two specific cores."""
         layer = self.report.comm_layer_of(core_a, core_b)
         return aggregation_advice(layer, n_messages, message_size)
+
+    # -- co-scheduling --------------------------------------------------------
+
+    def co_schedule(
+        self,
+        workloads: Sequence[str],
+        seed: int = 0,
+        level: int | None = None,
+        instances: int | None = None,
+        top: int = 5,
+    ):
+        """Rank placements of workloads onto the detected sharing topology.
+
+        Each workload is a canonical spec string (see
+        :func:`repro.workload.parse_workload`); the returned
+        :class:`~repro.workload.coschedule.CoScheduleAdvice` ranks the
+        ways of packing them onto the report's shared-cache instances
+        by predicted contention.  Imported lazily so reports without a
+        shared cache don't pay for the workload model.
+        """
+        from ..workload import co_schedule
+
+        return co_schedule(
+            self.report,
+            workloads,
+            seed=seed,
+            level=level,
+            instances=instances,
+            top=top,
+        )

@@ -253,11 +253,17 @@ def _build_parser() -> argparse.ArgumentParser:
         f"(default {DEFAULT_REGISTRY})",
     )
 
-    adv = sub.add_parser("advise", help="sample autotuning answers for a report")
+    adv = sub.add_parser(
+        "advise",
+        help="sample autotuning answers for a report; the special path "
+        "'co-schedule' ranks workload placements instead",
+    )
     adv.add_argument(
         "path",
         help="JSON report produced by 'servet run' (with --registry: a "
-        "fingerprint digest/prefix or 'latest')",
+        "fingerprint digest/prefix or 'latest'), or the literal "
+        "'co-schedule' to rank workload placements (then give the "
+        "report via --report or --registry)",
     )
     adv.add_argument(
         "--matmul-elem", type=int, default=8, help="matrix element size in bytes"
@@ -270,6 +276,42 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="read from this report registry instead of a file path "
         f"(default {DEFAULT_REGISTRY})",
+    )
+    adv.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="report file for 'advise co-schedule'",
+    )
+    adv.add_argument(
+        "--workloads",
+        default=None,
+        metavar="SPEC[;SPEC...]",
+        help="';'-separated workload specs to place, e.g. "
+        "'streaming;zipf:s=1.3' (co-schedule)",
+    )
+    adv.add_argument(
+        "--seed", type=int, default=0, help="workload stream seed (co-schedule)"
+    )
+    adv.add_argument(
+        "--cache-level",
+        type=int,
+        default=None,
+        help="shared cache level to model (default: outermost shared)",
+    )
+    adv.add_argument(
+        "--instances",
+        type=int,
+        default=None,
+        help="shared-cache instances available (default: all detected)",
+    )
+    adv.add_argument(
+        "--top", type=int, default=3, help="ranked placements to show"
+    )
+    adv.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full advice as JSON (co-schedule)",
     )
 
     srv = sub.add_parser(
@@ -361,6 +403,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "aggregate",
             "bcast",
             "latency",
+            "co-schedule",
         ],
         help="which question to ask",
     )
@@ -408,6 +451,55 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rank-to-core placement (bcast)",
     )
     qry.add_argument("--root", type=int, default=0, help="broadcast root rank")
+    qry.add_argument(
+        "--workloads",
+        default=None,
+        metavar="SPEC[;SPEC...]",
+        help="';'-separated workload specs (co-schedule)",
+    )
+    qry.add_argument(
+        "--seed", type=int, default=0, help="workload stream seed (co-schedule)"
+    )
+    qry.add_argument(
+        "--cache-level",
+        type=int,
+        default=None,
+        help="shared cache level to model (co-schedule; default: "
+        "outermost shared)",
+    )
+    qry.add_argument(
+        "--instances",
+        type=int,
+        default=None,
+        help="shared-cache instances available (co-schedule)",
+    )
+    qry.add_argument(
+        "--top", type=int, default=3, help="ranked placements (co-schedule)"
+    )
+
+    wkl = sub.add_parser(
+        "workload", help="inspect the synthetic workload generators"
+    )
+    wkl_sub = wkl.add_subparsers(dest="workload_command", required=True)
+    wkl_sub.add_parser("list", help="list workload generators and defaults")
+    wprof = wkl_sub.add_parser(
+        "profile", help="profile one workload's reuse-distance histogram"
+    )
+    wprof.add_argument(
+        "spec", help="workload spec, e.g. 'zipf:lines=8192,s=1.3'"
+    )
+    wprof.add_argument("--seed", type=int, default=0, help="stream seed")
+    wprof.add_argument(
+        "--capacity",
+        default=None,
+        metavar="LINES[,LINES...]",
+        help="also print solo miss ratios at these capacities (in lines)",
+    )
+    wprof.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full serialized profile as JSON",
+    )
 
     reg = sub.add_parser("registry", help="inspect the report registry")
     reg_sub = reg.add_subparsers(dest="registry_command", required=True)
@@ -779,7 +871,70 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_workloads(spec: str | None) -> list[str]:
+    if not spec:
+        raise ReproError(
+            "co-schedule needs --workloads 'SPEC;SPEC;...' "
+            "(see 'servet workload list')"
+        )
+    workloads = [w.strip() for w in spec.split(";") if w.strip()]
+    if not workloads:
+        raise ReproError("--workloads named no workloads")
+    return workloads
+
+
+def _cmd_advise_coschedule(args: argparse.Namespace) -> int:
+    if args.report is not None:
+        report = ServetReport.load(args.report)
+    elif args.registry is not None:
+        report = _load_report_arg("latest", args.registry)
+    else:
+        raise ReproError(
+            "'advise co-schedule' needs the report via --report PATH "
+            "or --registry [DIR]"
+        )
+    advice = Advisor(report).co_schedule(
+        _split_workloads(args.workloads),
+        seed=args.seed,
+        level=args.cache_level,
+        instances=args.instances,
+        top=args.top,
+    )
+    if args.json:
+        print(json.dumps(advice.to_dict(), indent=2, sort_keys=True))
+        return 0
+    prov = advice.provenance
+    print(
+        f"Co-scheduling advice for {advice.system} "
+        f"(L{advice.level}, {prov['instances']} instance(s) of "
+        f"{prov['group_size']} core(s), "
+        f"{prov['cache_size'] // 1024} KB each):"
+    )
+    for rank, option in enumerate(advice.options, start=1):
+        blocks = " | ".join(
+            "+".join(advice.names[i].split(":")[0] for i in block)
+            for block in option.blocks
+        )
+        print(
+            f"  #{rank}: {blocks}  "
+            f"(worst slowdown {option.worst_slowdown:.3f}, "
+            f"mean {option.mean_slowdown:.3f})"
+        )
+    best = advice.best
+    for block, prediction in zip(best.blocks, best.predictions):
+        for i, w in zip(block, prediction.workloads):
+            print(
+                f"    best: {advice.names[i]} -> "
+                f"miss {w.solo_miss_ratio:.4f} solo / "
+                f"{w.corun_miss_ratio:.4f} co-run, "
+                f"slowdown {w.slowdown:.3f}"
+            )
+    return 0
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
+    if args.path == "co-schedule":
+        return _cmd_advise_coschedule(args)
     report = _load_report_arg(args.path, args.registry)
     advisor = Advisor(report)
     print(f"Autotuning advice for {report.system}:")
@@ -983,6 +1138,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         params["core_a"], params["core_b"] = core_a, core_b
     if args.placement is not None:
         params["placement"] = [int(c) for c in args.placement.split(",")]
+    if args.kind == "co-schedule":
+        params["workloads"] = _split_workloads(args.workloads)
+        params["seed"] = args.seed
+        params["level"] = args.cache_level
+        params["instances"] = args.instances
+        params["top"] = args.top
     if args.remote is not None:
         host, port = _parse_hostport(args.remote)
         with ServicedClient(host, port) as client:
@@ -993,6 +1154,42 @@ def _cmd_query(args: argparse.Namespace) -> int:
         result = service.query(query_from_spec(args.kind, report, **params))
     print(json.dumps(result, indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from .workload import GENERATORS, parse_workload, profile_workload
+
+    if args.workload_command == "list":
+        print("workload generators (name: defaults):")
+        for name in sorted(GENERATORS):
+            defaults, _ = GENERATORS[name]
+            rendered = ",".join(f"{k}={v}" for k, v in defaults.items())
+            print(f"  {name}: {rendered}")
+        return 0
+    if args.workload_command == "profile":
+        workload = parse_workload(args.spec)
+        profile = profile_workload(workload, seed=args.seed)
+        if args.json:
+            print(json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+            return 0
+        print(f"reuse profile of {profile.name} (seed {profile.seed}):")
+        print(
+            f"  accesses {profile.accesses}, distinct lines "
+            f"{profile.distinct_lines}, cold miss ratio "
+            f"{profile.cold / profile.accesses:.4f}"
+        )
+        print(f"  histogram rows: {len(profile.bins)}")
+        for point, share in profile.cdf()[:: max(1, len(profile.bins) // 8)]:
+            print(f"    P[distance <= {point:10.1f}] = {share:.4f}")
+        if args.capacity:
+            for token in args.capacity.split(","):
+                capacity = int(token)
+                print(
+                    f"  solo miss ratio @ {capacity} lines: "
+                    f"{profile.miss_ratio(capacity):.4f}"
+                )
+        return 0
+    raise AssertionError("unreachable")
 
 
 def _cmd_registry(args: argparse.Namespace) -> int:
@@ -1199,6 +1396,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "workload":
+            return _cmd_workload(args)
         if args.command == "registry":
             return _cmd_registry(args)
         if args.command == "fleet":

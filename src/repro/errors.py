@@ -85,6 +85,15 @@ class CheckpointError(ReproError):
     """
 
 
+class WorkloadError(ReproError):
+    """A workload model request is malformed or unanswerable.
+
+    Examples: an unknown synthetic-workload generator or parameter, a
+    co-scheduling query over a report with no detected shared cache, or
+    more workloads than shared-cache slots to place them on.
+    """
+
+
 class ServiceError(ReproError):
     """The tuning service could not answer or refresh.
 

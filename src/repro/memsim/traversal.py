@@ -210,6 +210,13 @@ class TraversalEngine:
         process-wide :data:`~repro.memsim.outcome.GLOBAL_OUTCOME_CACHE`;
         pass an explicit :class:`TraversalOutcomeCache` for a private
         one, or ``None`` to bypass caching entirely (tests, baselines).
+    reuse_recorder:
+        Optional observer with a ``record(core, lines)`` method (e.g.
+        :class:`repro.workload.recorder.TraversalReuseRecorder`); every
+        ``run`` feeds it each traversal's virtual-line stream for one
+        revolution.  Off (``None``) by default — when set, ``run``
+        bypasses the outcome cache so the recorder sees every stream
+        and cached-path behaviour stays byte-identical when off.
     """
 
     def __init__(
@@ -218,6 +225,7 @@ class TraversalEngine:
         paging: PagePolicy | None = None,
         prefetch: PrefetchModel | None = None,
         outcome_cache: TraversalOutcomeCache | None | object = _USE_GLOBAL_CACHE,
+        reuse_recorder=None,
     ) -> None:
         self.machine = machine
         self.paging = paging if paging is not None else RandomPaging()
@@ -225,6 +233,7 @@ class TraversalEngine:
         if outcome_cache is _USE_GLOBAL_CACHE:
             outcome_cache = GLOBAL_OUTCOME_CACHE
         self.outcome_cache: TraversalOutcomeCache | None = outcome_cache
+        self.reuse_recorder = reuse_recorder
         # Machine identity is by value (equal machines share outcomes
         # across engine/backend instances), hashed once here instead of
         # re-deriving a deep dataclass hash on every lookup.
@@ -263,8 +272,19 @@ class TraversalEngine:
                 )
         rng = ensure_rng(rng)
 
+        recorder = self.reuse_recorder
+        if recorder is not None:
+            line_size = self.machine.levels[0].spec.line_size
+            for t in traversals:
+                recorder.record(
+                    t.core,
+                    _virtual_lines_shared(t.array_bytes, t.stride, line_size),
+                )
+
         cache = self.outcome_cache
         key = None
+        if recorder is not None:
+            cache = None  # recorded runs must not skip the stream replay
         if cache is not None and self._paging_token is not None:
             identity = stream_identity(rng)
             if identity is not None:

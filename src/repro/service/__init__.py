@@ -34,6 +34,7 @@ from .registry import (
 from .server import (
     AggregationQuery,
     BcastQuery,
+    CoScheduleQuery,
     CommLatencyQuery,
     HarnessResult,
     LRUTTLCache,
@@ -60,6 +61,7 @@ __all__ = [
     "ALL_PHASES",
     "AggregationQuery",
     "BcastQuery",
+    "CoScheduleQuery",
     "CommLatencyQuery",
     "FINGERPRINT_VERSION",
     "HarnessResult",

@@ -93,6 +93,22 @@ class CommLatencyQuery:
     nbytes: int
 
 
+@dataclass(frozen=True)
+class CoScheduleQuery:
+    """Ranked placements of workloads onto the detected sharing topology.
+
+    ``workloads`` are canonical synthetic-workload specs (see
+    :func:`repro.workload.parse_workload`); ``level``/``instances``
+    default to the outermost shared level and every detected instance.
+    """
+
+    workloads: tuple[str, ...]
+    seed: int = 0
+    level: int | None = None
+    instances: int | None = None
+    top: int = 3
+
+
 def answer(advisor: Advisor, query: Query) -> dict:
     """Compute one query's answer, uncached, as plain JSON scalars.
 
@@ -142,6 +158,15 @@ def answer(advisor: Advisor, query: Query) -> dict:
             "latency": float(layer.estimate_latency(query.nbytes)),
             "layer_index": int(layer.index),
         }
+    if isinstance(query, CoScheduleQuery):
+        advice = advisor.co_schedule(
+            list(query.workloads),
+            seed=query.seed,
+            level=query.level,
+            instances=query.instances,
+            top=query.top,
+        )
+        return advice.to_dict()
     raise ServiceError(f"unknown query type {type(query).__name__}")
 
 
@@ -509,6 +534,19 @@ def query_from_spec(kind: str, report: ServetReport, **params) -> Query:
             core_b=int(params["core_b"]),
             nbytes=int(params.get("nbytes", 4096)),
         ),
+        "co-schedule": lambda: CoScheduleQuery(
+            workloads=tuple(str(w) for w in params["workloads"]),
+            seed=int(params.get("seed", 0)),
+            level=(
+                int(params["level"]) if params.get("level") is not None else None
+            ),
+            instances=(
+                int(params["instances"])
+                if params.get("instances") is not None
+                else None
+            ),
+            top=int(params.get("top", 3)),
+        ),
     }
     if kind not in kinds:
         raise ServiceError(
@@ -526,6 +564,7 @@ def query_from_spec(kind: str, report: ServetReport, **params) -> Query:
 __all__ = [
     "AggregationQuery",
     "BcastQuery",
+    "CoScheduleQuery",
     "CommLatencyQuery",
     "HarnessResult",
     "LRUTTLCache",

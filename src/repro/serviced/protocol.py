@@ -53,6 +53,7 @@ from ..ioutils import canonical_json
 from ..service.server import (
     AggregationQuery,
     BcastQuery,
+    CoScheduleQuery,
     CommLatencyQuery,
     MatmulTileQuery,
     Query,
@@ -179,6 +180,18 @@ _DECODERS: dict[str, tuple[type, Callable[[dict], Query]]] = {
             core_a=int(d["core_a"]),
             core_b=int(d["core_b"]),
             nbytes=int(d["nbytes"]),
+        ),
+    ),
+    "co-schedule": (
+        CoScheduleQuery,
+        lambda d: CoScheduleQuery(
+            workloads=tuple(str(w) for w in d["workloads"]),
+            seed=int(d.get("seed", 0)),
+            level=int(d["level"]) if d.get("level") is not None else None,
+            instances=(
+                int(d["instances"]) if d.get("instances") is not None else None
+            ),
+            top=int(d.get("top", 3)),
         ),
     ),
 }

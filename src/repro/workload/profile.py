@@ -1,0 +1,195 @@
+"""Serializable reuse-distance profiles.
+
+A :class:`ReuseProfile` is the frozen, JSON-serializable readout of one
+:class:`~repro.workload.recorder.ReuseDistanceRecorder` pass: bucketed
+reuse-distance counts (plus per-bucket mean distance and mean reuse
+interval) and the cold-miss count.  It answers the two questions the
+contention model asks:
+
+- :meth:`miss_ratio` — Mattson: the fraction of accesses whose reuse
+  distance reaches ``capacity`` lines (plus cold misses).
+- :meth:`footprint` — how many distinct lines a window of ``w``
+  consecutive accesses touches, estimated by inverting the measured
+  (reuse interval -> reuse distance) relation.  This is what an access
+  stream *does to its neighbours* on a shared cache.
+
+Profiles are pure data: equality is structural, serialization is
+canonical (sorted rows), and every derived quantity is deterministic,
+so they can be cached, shipped over the daemon protocol, and pinned in
+golden tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import MeasurementError
+from .recorder import ReuseDistanceRecorder
+
+
+@dataclass(frozen=True)
+class ReuseBin:
+    """One histogram row: reuses binned by stack distance."""
+
+    #: Canonical bucket lower edge (see ``recorder.bucket_of``).
+    lo: int
+    #: Reuses that landed in this bucket.
+    count: int
+    #: Sum of their exact distances (mean = sum / count).
+    sum_distance: int
+    #: Sum of their reuse-interval gaps, in own accesses.
+    sum_gap: int
+
+    @property
+    def mean_distance(self) -> float:
+        return self.sum_distance / self.count
+
+    @property
+    def mean_gap(self) -> float:
+        return self.sum_gap / self.count
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """One workload's reuse-distance signature (immutable, serializable)."""
+
+    #: Canonical workload spec, e.g. ``"zipf:lines=4096,s=1.2"``.
+    name: str
+    #: Seed the access stream was generated with.
+    seed: int
+    #: Total accesses observed.
+    accesses: int
+    #: First-touch accesses (== distinct lines touched).
+    cold: int
+    #: Histogram rows, ascending ``lo``.
+    bins: tuple[ReuseBin, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        reuses = sum(b.count for b in self.bins)
+        if self.cold + reuses != self.accesses:
+            raise MeasurementError(
+                f"profile {self.name!r} loses mass: cold {self.cold} + "
+                f"reuses {reuses} != accesses {self.accesses}"
+            )
+        los = [b.lo for b in self.bins]
+        if los != sorted(set(los)):
+            raise MeasurementError(
+                f"profile {self.name!r} bins must be strictly ascending"
+            )
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_recorder(
+        cls, recorder: ReuseDistanceRecorder, name: str, seed: int
+    ) -> "ReuseProfile":
+        return cls(
+            name=name,
+            seed=seed,
+            accesses=recorder.accesses,
+            cold=recorder.cold,
+            bins=tuple(ReuseBin(*row) for row in recorder.bins()),
+        )
+
+    # -- derived quantities -----------------------------------------------
+
+    @property
+    def distinct_lines(self) -> int:
+        """Distinct lines the workload touches (== cold misses)."""
+        return self.cold
+
+    def cdf(self) -> list[tuple[float, float]]:
+        """``(mean distance, P[reuse distance <= d])`` points, ascending.
+
+        The probability is over *all* accesses, so the curve tops out at
+        ``1 - cold/accesses`` (cold misses have infinite distance).
+        """
+        points: list[tuple[float, float]] = []
+        running = 0
+        for b in self.bins:
+            running += b.count
+            points.append((b.mean_distance, running / self.accesses))
+        return points
+
+    def miss_ratio(self, capacity_lines: int) -> float:
+        """Solo miss ratio on a fully-associative LRU cache of ``capacity_lines``.
+
+        An access hits iff its reuse distance is strictly below the
+        capacity; cold misses always miss.  (Set-associative caches with
+        well-spread indices behave closely enough — the cross-validation
+        tests pin the agreement against the explicit simulator.)
+        """
+        if capacity_lines <= 0:
+            return 1.0
+        missing = self.cold
+        for b in self.bins:
+            if b.mean_distance >= capacity_lines:
+                missing += b.count
+        return missing / self.accesses if self.accesses else 0.0
+
+    def footprint(self, window: float) -> float:
+        """Distinct lines touched in ``window`` consecutive accesses (est.).
+
+        Uses the measured (mean gap -> mean distance) pairs as samples
+        of the footprint function and interpolates monotonically between
+        them; clamped by ``window`` itself (can't touch more lines than
+        accesses) and by the workload's total distinct lines.  Cold
+        accesses walk into new lines at the stream's cold rate, which
+        the tail beyond the largest measured gap accounts for.
+        """
+        if window <= 0:
+            return 0.0
+        total = float(self.distinct_lines)
+        bound = min(float(window), total)
+        if not self.bins:
+            # Every access is a first touch: the footprint is the window.
+            return bound
+        # Monotone envelope of (gap, distance) samples, ascending gap.
+        points = sorted((b.mean_gap, b.mean_distance) for b in self.bins)
+        best = 0.0
+        envelope: list[tuple[float, float]] = []
+        for gap, distance in points:
+            if distance > best:
+                best = distance
+                envelope.append((gap, distance))
+        prev_gap, prev_d = 0.0, 0.0
+        for gap, distance in envelope:
+            if window <= gap:
+                if gap <= prev_gap:
+                    return min(bound, distance)
+                frac = (window - prev_gap) / (gap - prev_gap)
+                return min(bound, prev_d + frac * (distance - prev_d))
+            prev_gap, prev_d = gap, distance
+        # Beyond the longest measured reuse interval, new lines arrive
+        # at the stream's cold rate.
+        tail = (window - prev_gap) * (self.cold / self.accesses)
+        return min(bound, prev_d + tail)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "accesses": self.accesses,
+            "cold": self.cold,
+            "bins": [
+                [b.lo, b.count, b.sum_distance, b.sum_gap] for b in self.bins
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReuseProfile":
+        try:
+            return cls(
+                name=str(data["name"]),
+                seed=int(data["seed"]),
+                accesses=int(data["accesses"]),
+                cold=int(data["cold"]),
+                bins=tuple(
+                    ReuseBin(int(lo), int(c), int(sd), int(sg))
+                    for lo, c, sd, sg in data["bins"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MeasurementError(f"malformed reuse profile: {exc}") from exc

@@ -1,0 +1,109 @@
+"""Golden regression for the co-scheduling advisor.
+
+At ``noise=0`` the detected dunnington topology is byte-stable (see
+``test_golden_reports``) and workload profiles are pure functions of
+``(spec, seed)``, so the full ``co_schedule`` answer — ranking, per-
+workload predictions, provenance — can be pinned byte-for-byte.  The
+golden lives in ``tests/golden/dunnington_coschedule.json`` and is
+regenerated with::
+
+    pytest tests/integration/test_golden_coschedule.py --update-golden
+
+The fixed mix is chosen so the three pairings onto two L2 instances
+get strictly distinct scores, and the predicted ordering agrees with
+the explicit interleaved simulation (asserted in the co-schedule
+bench, not here).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import ServetSuite, SimulatedBackend, dunnington
+from repro.autotune import Advisor
+from repro.service.server import CoScheduleQuery, TuningService
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+GOLDEN_PATH = GOLDEN_DIR / "dunnington_coschedule.json"
+
+#: Four archetypes with equal stream lengths (163840 accesses each):
+#: a hog bigger than L2, a tiny cache-friendly kernel, and two
+#: mid-size victims — pairings differ strictly in predicted contention.
+WORKLOAD_MIX = (
+    "streaming:lines=81920,rounds=2",
+    "blocked:lines=2048,block=256,repeats=16,rounds=5",
+    "zipf:accesses=163840,lines=32768,s=1.1",
+    "stencil:lines=16384,halo=2,sweeps=2",
+)
+
+
+@pytest.fixture(scope="module")
+def noiseless_report():
+    backend = SimulatedBackend(dunnington(), seed=42, noise=0.0)
+    return ServetSuite(backend).run()
+
+
+def advice_bytes(report) -> bytes:
+    advice = Advisor(report).co_schedule(
+        WORKLOAD_MIX, seed=0, level=2, instances=2, top=3
+    )
+    return (
+        json.dumps(advice.to_dict(), sort_keys=True, indent=2) + "\n"
+    ).encode("utf-8")
+
+
+def test_golden_coschedule(noiseless_report, update_golden):
+    got = advice_bytes(noiseless_report)
+    if update_golden:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_bytes(got)
+        return
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"missing golden fixture {GOLDEN_PATH}; generate it with "
+            "`pytest tests/integration/test_golden_coschedule.py "
+            "--update-golden`"
+        )
+    want = GOLDEN_PATH.read_bytes()
+    if got != want:
+        got_d, want_d = json.loads(got), json.loads(want)
+        changed = sorted(
+            k
+            for k in set(got_d) | set(want_d)
+            if got_d.get(k) != want_d.get(k)
+        )
+        pytest.fail(
+            "co-schedule advice diverged from the golden in section(s) "
+            f"{changed}; if intended, regenerate with --update-golden "
+            "and review the diff"
+        )
+
+
+def test_golden_ranking_shape(noiseless_report):
+    """Sanity independent of exact bytes: structure and ordering laws."""
+    advice = Advisor(noiseless_report).co_schedule(
+        WORKLOAD_MIX, seed=0, level=2, instances=2, top=3
+    )
+    assert advice.system == "dunnington"
+    assert advice.level == 2
+    assert len(advice.options) == 3  # three pairings of 4 onto 2x2
+    scores = [
+        (o.worst_slowdown, o.mean_slowdown) for o in advice.options
+    ]
+    assert scores == sorted(scores)
+    assert len(set(scores)) == len(scores), "pairings must rank strictly"
+    assert advice.best.worst_slowdown >= 1.0
+
+
+def test_service_answer_matches_advisor(noiseless_report):
+    """The typed service query returns exactly the advisor's dict."""
+    service = TuningService(noiseless_report)
+    query = CoScheduleQuery(
+        workloads=WORKLOAD_MIX, seed=0, level=2, instances=2, top=3
+    )
+    first = service.query(query)
+    assert first == json.loads(advice_bytes(noiseless_report))
+    assert service.query(query) == first  # cached answer identical

@@ -145,6 +145,118 @@ def test_run_no_sim_cache_matches_cached_run(tmp_path, capsys):
     assert a == b
 
 
+SMALL_MIX = (
+    "streaming:lines=512,rounds=2;"
+    "blocked:lines=256,block=64,repeats=2,rounds=2;"
+    "zipf:accesses=1024,lines=512,s=1.2;"
+    "stencil:lines=256,halo=1,sweeps=1"
+)
+
+
+def test_workload_list(capsys):
+    assert main(["workload", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("streaming", "blocked", "zipf", "stencil"):
+        assert name in out
+
+
+def test_workload_profile(capsys):
+    assert main(
+        ["workload", "profile", "zipf:lines=256,accesses=1024",
+         "--capacity", "64,256"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "reuse profile of zipf:" in out
+    assert "accesses 1024" in out
+    assert "solo miss ratio @ 64 lines" in out
+    assert "solo miss ratio @ 256 lines" in out
+
+
+def test_workload_profile_json_roundtrips(capsys):
+    assert main(
+        ["workload", "profile", "streaming:lines=128,rounds=2", "--json"]
+    ) == 0
+    from repro.workload import ReuseProfile
+
+    profile = ReuseProfile.from_dict(json.loads(capsys.readouterr().out))
+    assert profile.accesses == 256
+    assert profile.distinct_lines == 128
+
+
+def test_workload_profile_bad_spec_fails_cleanly(capsys):
+    assert main(["workload", "profile", "zipf:warp=9"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_advise_coschedule(tmp_path, capsys, dunnington_report):
+    path = tmp_path / "dunnington.json"
+    dunnington_report.save(path)
+    assert main(
+        ["advise", "co-schedule", "--report", str(path),
+         "--workloads", SMALL_MIX, "--cache-level", "2",
+         "--instances", "2", "--top", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Co-scheduling advice for dunnington" in out
+    assert "#1:" in out and "#2:" in out
+    assert "worst slowdown" in out
+    assert "best:" in out
+
+
+def test_advise_coschedule_json(tmp_path, capsys, dunnington_report):
+    path = tmp_path / "dunnington.json"
+    dunnington_report.save(path)
+    assert main(
+        ["advise", "co-schedule", "--report", str(path),
+         "--workloads", "streaming:lines=128,rounds=2;zipf:accesses=256,lines=128",
+         "--json"]
+    ) == 0
+    advice = json.loads(capsys.readouterr().out)
+    assert advice["system"] == "dunnington"
+    assert advice["ranked"]
+    assert advice["provenance"]["method"]
+
+
+def test_advise_coschedule_requires_workloads(tmp_path, capsys, dunnington_report):
+    path = tmp_path / "dunnington.json"
+    dunnington_report.save(path)
+    assert main(["advise", "co-schedule", "--report", str(path)]) == 1
+    assert "--workloads" in capsys.readouterr().err
+
+
+def test_advise_coschedule_requires_report(capsys):
+    assert main(
+        ["advise", "co-schedule", "--workloads", "streaming"]
+    ) == 1
+    assert "--report" in capsys.readouterr().err
+
+
+def test_advise_coschedule_no_shared_cache_fails_cleanly(tmp_path, capsys):
+    # dempsey's caches are all private: there is nothing to co-schedule.
+    path = tmp_path / "dempsey.json"
+    main(["run", "--machine", "dempsey", "-o", str(path)])
+    capsys.readouterr()
+    code = main(
+        ["advise", "co-schedule", "--report", str(path),
+         "--workloads", "streaming;zipf"]
+    )
+    assert code == 1
+    assert "shared" in capsys.readouterr().err
+
+
+def test_query_coschedule(tmp_path, capsys, dunnington_report):
+    path = tmp_path / "dunnington.json"
+    dunnington_report.save(path)
+    assert main(
+        ["query", str(path), "co-schedule", "--workloads", SMALL_MIX,
+         "--cache-level", "2", "--instances", "2", "--top", "1"]
+    ) == 0
+    result = json.loads(capsys.readouterr().out)
+    assert result["system"] == "dunnington"
+    assert len(result["ranked"]) == 1
+    assert result["ranked"][0]["worst_slowdown"] >= 1.0
+
+
 def test_no_sim_cache_invalidates_cached_checkpoint(tmp_path, capsys):
     ckpt = tmp_path / "ckpt.json"
     assert main(["run", "--machine", "dempsey", "--checkpoint", str(ckpt)]) == 0

@@ -1,12 +1,15 @@
 """Unit tests for the tuning service: cache, answers, metrics, harness."""
 
+import threading
+
 import pytest
 
 from repro.autotune import Advisor
-from repro.errors import ServiceError
+from repro.errors import ReproError, ServiceError
 from repro.service.server import (
     AggregationQuery,
     CommLatencyQuery,
+    CoScheduleQuery,
     LRUTTLCache,
     MatmulTileQuery,
     SingleFlightTable,
@@ -246,6 +249,90 @@ def test_harness_validates_shape(dunnington_report):
         run_harness(service, clients=0)
 
 
+# -- single-flight error paths -------------------------------------------
+
+
+def test_single_flight_releases_entry_when_body_raises():
+    """An exception inside the critical section must not leak the entry.
+
+    The per-key lock and its refcounted table entry are acquired before
+    the protected computation runs; if the computation raises, both
+    must be released — otherwise the key's entry (and eventually the
+    table's cap) leaks one slot per failing query.
+    """
+    table = SingleFlightTable(cap=4)
+    with pytest.raises(RuntimeError, match="boom"):
+        with table.flight("key"):
+            raise RuntimeError("boom")
+    assert table.live() == 0
+    # The same key is immediately usable again, without deadlock.
+    with table.flight("key"):
+        assert table.live() == 1
+    assert table.live() == 0
+
+
+def test_single_flight_waiters_recover_from_leader_error():
+    """Racers blocked behind a failing holder run and clean up."""
+    table = SingleFlightTable(cap=4)
+    outcomes: list[str] = []
+    leader_in, release_leader = threading.Event(), threading.Event()
+
+    def leader():
+        try:
+            with table.flight("key"):
+                leader_in.set()
+                release_leader.wait(timeout=5)
+                raise RuntimeError("leader failed")
+        except RuntimeError:
+            outcomes.append("leader-raised")
+
+    def waiter():
+        with table.flight("key"):
+            outcomes.append("waiter-ran")
+
+    threads = [threading.Thread(target=leader)]
+    threads[0].start()
+    assert leader_in.wait(timeout=5)
+    threads += [threading.Thread(target=waiter) for _ in range(3)]
+    for t in threads[1:]:
+        t.start()
+    release_leader.set()
+    for t in threads:
+        t.join(timeout=5)
+        assert not t.is_alive(), "single-flight deadlocked after error"
+    assert outcomes.count("leader-raised") == 1
+    assert outcomes.count("waiter-ran") == 3
+    assert table.live() == 0
+
+
+def test_single_flight_fallback_path_releases_on_error():
+    """Errors on the striped overflow path must release the stripe too."""
+    table = SingleFlightTable(cap=1, stripes=2)
+    with table.flight("pinned"):  # occupies the only table slot
+        with pytest.raises(ValueError):
+            with table.flight("overflow"):  # degrades to a stripe
+                raise ValueError("boom")
+        assert table.fallbacks == 1
+        # The stripe lock is free again: same overflow key re-enters.
+        with table.flight("overflow"):
+            pass
+    assert table.live() == 0
+
+
+def test_service_query_error_does_not_poison_single_flight(
+    dunnington_report,
+):
+    """A failing answer() leaves the service fully usable."""
+    service = TuningService(dunnington_report)
+    bad = AggregationQuery(core_a=0, core_b=99999, n_messages=1, message_size=8)
+    for _ in range(2):  # repeat: the error path must be re-runnable too
+        with pytest.raises(ReproError):
+            service.query(bad)
+    assert service.single_flight.live() == 0
+    good = TileQuery(level=1)
+    assert service.query(good) == answer(Advisor(dunnington_report), good)
+
+
 # -- CLI query specs -----------------------------------------------------
 
 
@@ -262,6 +349,19 @@ def test_query_from_spec_builds_each_kind(dunnington_report):
     assert q == CommLatencyQuery(0, 2, 128)
     bq = query_from_spec("bcast", dunnington_report, placement=[0, 1, 2, 3])
     assert bq.placement == (0, 1, 2, 3)
+    cq = query_from_spec(
+        "co-schedule",
+        dunnington_report,
+        workloads=["streaming", "zipf"],
+        level=2,
+        top=1,
+    )
+    assert cq == CoScheduleQuery(
+        workloads=("streaming", "zipf"), level=2, top=1
+    )
+    assert query_from_spec(
+        "co-schedule", dunnington_report, workloads=["streaming"]
+    ) == CoScheduleQuery(workloads=("streaming",))
 
 
 def test_query_from_spec_rejects_unknown_kind(dunnington_report):

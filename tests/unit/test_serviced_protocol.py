@@ -22,6 +22,7 @@ from repro.serviced.protocol import (
 from repro.service.server import (
     AggregationQuery,
     BcastQuery,
+    CoScheduleQuery,
     CommLatencyQuery,
     MatmulTileQuery,
     StreamingCoresQuery,
@@ -35,6 +36,10 @@ ALL_QUERIES = [
     AggregationQuery(core_a=0, core_b=3, n_messages=16, message_size=4096),
     BcastQuery(placement=(0, 2, 4, 6), nbytes=65536, root=2),
     CommLatencyQuery(core_a=1, core_b=5, nbytes=512),
+    CoScheduleQuery(
+        workloads=("streaming", "zipf:s=1.3"), seed=5, level=2, instances=2
+    ),
+    CoScheduleQuery(workloads=("stencil",)),  # None level/instances
 ]
 
 

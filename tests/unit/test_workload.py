@@ -1,0 +1,168 @@
+"""Unit tests for the workload layer: recorder hook, parsing, advisor edges."""
+
+import pytest
+
+from repro.errors import MeasurementError, WorkloadError
+from repro.memsim import Traversal, TraversalEngine, TraversalOutcomeCache
+from repro.topology import generic_smp
+from repro.units import KiB
+from repro.workload import (
+    CachePressureModel,
+    ReuseProfile,
+    TraversalReuseRecorder,
+    co_schedule,
+    parse_workload,
+    profile_workload,
+)
+
+
+def small_machine():
+    return generic_smp(
+        n_cores=2,
+        levels=[("32KB", 8, 1, 3.0), ("1MB", 8, 2, 20.0)],
+        mem_latency=200.0,
+    )
+
+
+# -- engine recorder hook -------------------------------------------------
+
+
+def test_recorded_run_matches_plain_run():
+    """Switching the recorder on must not perturb the measurement."""
+    machine = small_machine()
+    traversals = [Traversal(0, 64 * KiB, 64), Traversal(1, 256 * KiB, 128)]
+    plain = TraversalEngine(machine, outcome_cache=None).run(
+        traversals, rng=0
+    )
+    recorder = TraversalReuseRecorder()
+    recorded = TraversalEngine(machine, reuse_recorder=recorder).run(
+        traversals, rng=0
+    )
+    assert recorded.cycles_per_access == plain.cycles_per_access
+    assert recorded.miss_fraction == plain.miss_fraction
+
+
+def test_recorder_accumulates_per_core():
+    machine = small_machine()
+    recorder = TraversalReuseRecorder()
+    engine = TraversalEngine(machine, reuse_recorder=recorder)
+    engine.run([Traversal(0, 8 * KiB, 64)], rng=0)
+    engine.run([Traversal(0, 8 * KiB, 64), Traversal(1, 16 * KiB, 64)], rng=0)
+    assert recorder.cores == [0, 1]
+    assert recorder.recorder(0).accesses == 2 * (8 * KiB // 64)
+    assert recorder.recorder(1).accesses == 16 * KiB // 64
+    profile = recorder.profile(0, "traversal-core0")
+    assert isinstance(profile, ReuseProfile)
+    assert profile.distinct_lines == 8 * KiB // 64
+    with pytest.raises(MeasurementError, match="no accesses recorded"):
+        recorder.recorder(7)
+
+
+def test_recorded_run_bypasses_outcome_cache():
+    """Recorded runs must replay the stream, not hit the cache.
+
+    A cache hit would skip the traversal walk entirely, so the recorder
+    would silently observe nothing; the hook both skips the lookup and
+    refuses to populate the cache with recorder-tainted entries.
+    """
+    machine = small_machine()
+    cache = TraversalOutcomeCache()
+    traversals = [Traversal(0, 64 * KiB, 64)]
+    TraversalEngine(machine, outcome_cache=cache).run(traversals, rng=0)
+    assert cache.stats()["entries"] == 1
+
+    recorder = TraversalReuseRecorder()
+    engine = TraversalEngine(
+        machine, outcome_cache=cache, reuse_recorder=recorder
+    )
+    before = cache.stats()
+    engine.run(traversals, rng=0)
+    assert cache.stats() == before  # neither probed nor populated
+    assert recorder.recorder(0).accesses == 64 * KiB // 64
+
+
+# -- spec parsing ---------------------------------------------------------
+
+
+def test_parse_workload_rejects_unknown_generator():
+    with pytest.raises(WorkloadError, match="unknown workload"):
+        parse_workload("quantum:lines=4")
+
+
+def test_parse_workload_rejects_unknown_key():
+    with pytest.raises(WorkloadError, match="warp"):
+        parse_workload("zipf:warp=9")
+
+
+def test_parse_workload_rejects_malformed_value():
+    with pytest.raises(WorkloadError):
+        parse_workload("streaming:lines=many")
+
+
+def test_parse_workload_canonicalizes_spec():
+    a = parse_workload("zipf:s=1.3,lines=512")
+    b = parse_workload("zipf:lines=512,s=1.3")
+    assert a.spec == b.spec
+
+
+# -- profile serialization ------------------------------------------------
+
+
+def test_profile_dict_roundtrip():
+    profile = profile_workload("stencil:lines=128,halo=1,sweeps=2", seed=3)
+    again = ReuseProfile.from_dict(profile.to_dict())
+    assert again == profile
+
+
+def test_profile_from_dict_rejects_corrupt_mass():
+    data = profile_workload("streaming:lines=64,rounds=2", seed=0).to_dict()
+    data["cold"] += 1  # breaks cold + sum(counts) == accesses
+    with pytest.raises(MeasurementError, match="loses mass"):
+        ReuseProfile.from_dict(data)
+
+
+# -- advisor edges --------------------------------------------------------
+
+
+def test_co_schedule_rejects_private_level(dunnington_report):
+    with pytest.raises(WorkloadError, match="private"):
+        co_schedule(dunnington_report, ["streaming"], level=1)
+
+
+def test_co_schedule_rejects_unknown_level(dunnington_report):
+    with pytest.raises(WorkloadError, match="no cache level"):
+        co_schedule(dunnington_report, ["streaming"], level=9)
+
+
+def test_co_schedule_rejects_bad_instances(dunnington_report):
+    with pytest.raises(WorkloadError):
+        co_schedule(dunnington_report, ["streaming"], level=2, instances=0)
+    with pytest.raises(WorkloadError):
+        co_schedule(dunnington_report, ["streaming"], level=2, instances=99)
+
+
+def test_co_schedule_rejects_oversized_mix(dunnington_report):
+    mix = [f"zipf:lines={64 + i}" for i in range(11)]  # MAX_WORKLOADS = 10
+    with pytest.raises(WorkloadError, match="cap"):
+        co_schedule(dunnington_report, mix, level=2)
+
+
+def test_co_schedule_rejects_empty_and_bad_top(dunnington_report):
+    with pytest.raises(WorkloadError):
+        co_schedule(dunnington_report, [], level=2)
+    with pytest.raises(WorkloadError):
+        co_schedule(dunnington_report, ["streaming"], level=2, top=0)
+
+
+def test_co_schedule_infeasible_mix(dunnington_report):
+    # 5 workloads cannot fit 2 instances x 2 cores of L2.
+    mix = [f"zipf:lines={64 + i}" for i in range(5)]
+    with pytest.raises(WorkloadError):
+        co_schedule(dunnington_report, mix, level=2, instances=2)
+
+
+def test_model_rejects_bad_shape():
+    with pytest.raises(WorkloadError):
+        CachePressureModel(capacity_lines=0)
+    with pytest.raises(WorkloadError):
+        CachePressureModel(capacity_lines=64, miss_cycles=0.0)
